@@ -1,0 +1,147 @@
+package anytime_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out, beyond
+// the paper's numbered figures:
+//
+//   - histeq input reordering (§IV-C3): the in-memory data reorganization
+//     the paper proposes to recover sampling locality.
+//   - the §IV-C2 scheduling policies on the Figure 2 pipeline (simulated).
+//   - the iterative approximate-storage voltage ladder (§III-B1) versus
+//     the diffusive sampled automaton on 2dconv.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/apps/histeq"
+	"anytime/internal/cachesim"
+	"anytime/internal/pix"
+	"anytime/internal/sched"
+	"anytime/internal/store"
+)
+
+// BenchmarkAblation_HisteqReorder measures the histeq automaton's
+// end-to-end runtime with the pseudo-random input read directly (random
+// access) versus through a pre-reordered copy (sequential access).
+func BenchmarkAblation_HisteqReorder(b *testing.B) {
+	in, err := pix.SyntheticGray(512, 512, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(reorder bool) time.Duration {
+		r, err := histeq.New(in, histeq.Config{Workers: 2, ReorderInput: reorder})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := r.Automaton.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Automaton.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var plain, reordered time.Duration
+	for i := 0; i < b.N; i++ {
+		plain = run(false)
+		reordered = run(true)
+	}
+	b.ReportMetric(float64(plain.Microseconds()), "random-us")
+	b.ReportMetric(float64(reordered.Microseconds()), "reordered-us")
+	b.ReportMetric(float64(plain)/float64(reordered), "speedup-x")
+}
+
+// BenchmarkAblation_SchedPolicies reports the simulated §IV-C2 tradeoff on
+// the Figure 2 pipeline at a 16-worker budget.
+func BenchmarkAblation_SchedPolicies(b *testing.B) {
+	p := sched.Figure2Pipeline()
+	var rows []sched.Comparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sched.Compare(p, 16, sched.DefaultPolicies())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Policy {
+		case "first-output":
+			b.ReportMetric(r.FirstOutput, "first-output-ttfo")
+			b.ReportMetric(r.MeanGap, "first-output-gap")
+		case "output-rate":
+			b.ReportMetric(r.FirstOutput, "output-rate-ttfo")
+			b.ReportMetric(r.MeanGap, "output-rate-gap")
+		}
+	}
+}
+
+// BenchmarkAblation_StorageLadder compares the iterative voltage-ladder
+// automaton (§III-B1) with the diffusive sampled automaton (§III-B2) on
+// 2dconv: time to the precise output and the ladder's modeled storage
+// energy.
+func BenchmarkAblation_StorageLadder(b *testing.B) {
+	in, err := pix.SyntheticGray(192, 192, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := store.DefaultLevels
+	var ladder, diffusive time.Duration
+	for i := 0; i < b.N; i++ {
+		lr, err := conv2d.NewIterativeStorage(in, conv2d.IterStorageConfig{Levels: levels, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if err := lr.Automaton.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := lr.Automaton.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		ladder = time.Since(start)
+
+		dr, err := conv2d.New(in, conv2d.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		start = time.Now()
+		if err := dr.Automaton.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := dr.Automaton.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		diffusive = time.Since(start)
+	}
+	b.ReportMetric(float64(ladder.Microseconds()), "ladder-us")
+	b.ReportMetric(float64(diffusive.Microseconds()), "diffusive-us")
+	b.ReportMetric(conv2d.LadderEnergy(levels), "ladder-storage-energy-x")
+}
+
+// BenchmarkAblation_CachePrefetch reports the §IV-C3 locality study: miss
+// rates of the pseudo-random sweep without prefetching versus with the
+// paper's deterministic permutation prefetcher.
+func BenchmarkAblation_CachePrefetch(b *testing.B) {
+	var rows []cachesim.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cachesim.Study(cachesim.Config{SizeWords: 4096, Ways: 8, LineWords: 16}, 1<<16, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Permutation == "pseudo-random" && r.Prefetcher == "none" {
+			b.ReportMetric(r.MissRate, "rand-nopf-missrate")
+		}
+		if r.Permutation == "pseudo-random" && r.Prefetcher == "permutation" {
+			b.ReportMetric(r.MissRate, "rand-permpf-missrate")
+		}
+		if r.Permutation == "sequential" && r.Prefetcher == "none" {
+			b.ReportMetric(r.MissRate, "seq-nopf-missrate")
+		}
+	}
+}

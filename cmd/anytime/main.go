@@ -1,0 +1,278 @@
+// Command anytime runs one of the paper's benchmark applications as an
+// anytime automaton — the "hold the enter key for more precision"
+// experience of the paper's introduction, on the command line.
+//
+// Usage:
+//
+//	anytime -app conv2d|histeq|dwt53|debayer|kmeans
+//	        [-size N] [-workers N] [-seed N]
+//	        [-halt FRACTION] [-in image.pgm] [-out image.pgm]
+//
+// The tool measures the precise baseline, starts the automaton, halts it at
+// the requested fraction of the baseline runtime (1.0 or more lets it run
+// to the precise output), reports the SNR of the halted output, and
+// optionally writes it as a PGM/PPM file. With -in, a user-supplied binary
+// PGM image replaces the synthetic input (conv2d, histeq, dwt53; debayer
+// treats it as a Bayer mosaic).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/apps/debayer"
+	"anytime/internal/apps/dwt53"
+	"anytime/internal/apps/histeq"
+	"anytime/internal/apps/kmeans"
+	"anytime/internal/core"
+	"anytime/internal/harness"
+	"anytime/internal/metrics"
+	"anytime/internal/pix"
+	"anytime/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "conv2d", "application: conv2d, histeq, dwt53, debayer, kmeans")
+	size := flag.Int("size", 512, "synthetic input side length")
+	workers := flag.Int("workers", 4, "workers per parallel stage")
+	seed := flag.Uint64("seed", 1, "synthetic input seed")
+	halt := flag.Float64("halt", 1.0, "halt after this fraction of the baseline runtime (>=1 runs to precise)")
+	accept := flag.Float64("accept", 0, "stop automatically once output SNR reaches this many dB (0 disables)")
+	showTrace := flag.Bool("trace", false, "print an ASCII publish timeline after the run")
+	inPath := flag.String("in", "", "input PGM/PPM file (optional; synthetic input otherwise)")
+	outPath := flag.String("out", "", "write the halted output image here (optional)")
+	diffPath := flag.String("diff", "", "write an error heat image (|precise - output| x8) here (optional)")
+	flag.Parse()
+
+	if err := run(*app, *size, *workers, *seed, *halt, *accept, *inPath, *outPath, *diffPath, *showTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "anytime:", err)
+		os.Exit(1)
+	}
+}
+
+// appRun bundles what the driver needs from each application.
+type appRun struct {
+	baseline func() error    // one precise execution (timed)
+	ref      *pix.Image      // precise output for SNR
+	automa   *core.Automaton // constructed automaton
+	out      *core.Buffer[*pix.Image]
+}
+
+func run(app string, size, workers int, seed uint64, halt, accept float64, inPath, outPath, diffPath string, showTrace bool) error {
+	ar, err := build(app, size, workers, seed, inPath)
+	if err != nil {
+		return err
+	}
+	var tr *trace.Tracer
+	if showTrace {
+		tr = trace.New()
+		trace.Attach(tr, ar.out)
+	}
+	baseline, err := harness.TimeBaseline(ar.baseline, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline precise runtime: %v\n", baseline)
+	if tr != nil {
+		tr.Start()
+	}
+
+	var snap core.Snapshot[*pix.Image]
+	start := time.Now()
+	if accept > 0 {
+		// Automated accuracy control (paper §III-A): stop as soon as the
+		// whole-application output reaches the acceptability bar.
+		accepted := core.StopWhen(ar.automa, ar.out, func(s core.Snapshot[*pix.Image]) bool {
+			db, err := metrics.SNR(ar.ref.Pix, s.Value.Pix)
+			return err == nil && db >= accept
+		})
+		if err := ar.automa.Start(context.Background()); err != nil {
+			return err
+		}
+		s, ok := <-accepted
+		if !ok {
+			return fmt.Errorf("automaton ended without any output")
+		}
+		snap = s
+	} else if halt >= 1 {
+		if err := ar.automa.Start(context.Background()); err != nil {
+			return err
+		}
+		if err := ar.automa.Wait(); err != nil {
+			return err
+		}
+		s, ok := ar.out.Latest()
+		if !ok {
+			return fmt.Errorf("automaton produced no output")
+		}
+		snap = s
+	} else {
+		s, err := harness.RunUntil(ar.automa, ar.out, time.Duration(halt*float64(baseline)))
+		if err != nil {
+			return err
+		}
+		snap = s
+	}
+	elapsed := time.Since(start)
+
+	db, err := metrics.SNR(ar.ref.Pix, snap.Value.Pix)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("halted after %v (%.2fx baseline): version %d, final=%v, SNR %s dB\n",
+		elapsed, float64(elapsed)/float64(baseline), snap.Version, snap.Final, metrics.FormatDB(db))
+	if outPath != "" {
+		if err := pix.WritePNMFile(outPath, snap.Value); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if diffPath != "" {
+		heat, err := pix.DiffImage(ar.ref, snap.Value, 8)
+		if err != nil {
+			return err
+		}
+		if err := pix.WritePNMFile(diffPath, heat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", diffPath)
+	}
+	if tr != nil {
+		if err := tr.Timeline(os.Stdout, 72); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func build(app string, size, workers int, seed uint64, inPath string) (*appRun, error) {
+	grayInput := func() (*pix.Image, error) {
+		if inPath != "" {
+			im, err := pix.ReadPNMFile(inPath)
+			if err != nil {
+				return nil, err
+			}
+			if im.C != 1 {
+				return nil, fmt.Errorf("%s needs a grayscale (PGM) input", app)
+			}
+			return im, nil
+		}
+		return pix.SyntheticGray(size, size, seed)
+	}
+	switch app {
+	case "conv2d":
+		in, err := grayInput()
+		if err != nil {
+			return nil, err
+		}
+		cfg := conv2d.Config{Workers: workers}
+		ref, err := conv2d.Precise(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := conv2d.New(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &appRun{
+			baseline: func() error { _, err := conv2d.Precise(in, cfg); return err },
+			ref:      ref, automa: r.Automaton, out: r.Out,
+		}, nil
+	case "histeq":
+		in, err := grayInput()
+		if err != nil {
+			return nil, err
+		}
+		cfg := histeq.Config{Workers: workers}
+		ref, err := histeq.Precise(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := histeq.New(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &appRun{
+			baseline: func() error { _, err := histeq.Precise(in, cfg); return err },
+			ref:      ref, automa: r.Automaton, out: r.Out,
+		}, nil
+	case "dwt53":
+		in, err := grayInput()
+		if err != nil {
+			return nil, err
+		}
+		cfg := dwt53.Config{Workers: workers}
+		r, err := dwt53.New(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &appRun{
+			baseline: func() error { _, err := dwt53.Precise(in, cfg); return err },
+			ref:      in, automa: r.Automaton, out: r.Out,
+		}, nil
+	case "debayer":
+		var in *pix.Image
+		var err error
+		if inPath != "" {
+			in, err = pix.ReadPNMFile(inPath)
+			if err == nil && in.C != 1 {
+				err = fmt.Errorf("debayer needs a grayscale Bayer mosaic (PGM) input")
+			}
+		} else {
+			var rgb *pix.Image
+			rgb, err = pix.SyntheticRGB(size, size, seed)
+			if err == nil {
+				in, err = pix.BayerGRBG(rgb)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := debayer.Config{Workers: workers}
+		ref, err := debayer.Precise(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := debayer.New(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &appRun{
+			baseline: func() error { _, err := debayer.Precise(in, cfg); return err },
+			ref:      ref, automa: r.Automaton, out: r.Out,
+		}, nil
+	case "kmeans":
+		var in *pix.Image
+		var err error
+		if inPath != "" {
+			in, err = pix.ReadPNMFile(inPath)
+			if err == nil && in.C != 3 {
+				err = fmt.Errorf("kmeans needs an RGB (PPM) input")
+			}
+		} else {
+			in, err = pix.SyntheticRGB(size, size, seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := kmeans.Config{Workers: workers}
+		ref, err := kmeans.Precise(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := kmeans.New(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &appRun{
+			baseline: func() error { _, err := kmeans.Precise(in, cfg); return err },
+			ref:      ref, automa: r.Automaton, out: r.Out,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"anytime/internal/pix"
+)
+
+func TestRunEveryAppPrecise(t *testing.T) {
+	for _, app := range []string{"conv2d", "histeq", "dwt53", "debayer", "kmeans"} {
+		if err := run(app, 32, 2, 1, 1.0, 0, "", "", "", false); err != nil {
+			t.Errorf("%s: %v", app, err)
+		}
+	}
+}
+
+func TestRunHalted(t *testing.T) {
+	if err := run("conv2d", 96, 2, 1, 0.3, 0, "", "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAcceptAndOutputs(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.pgm")
+	diff := filepath.Join(dir, "diff.pgm")
+	if err := run("conv2d", 64, 2, 1, 1.0, 10, "", out, diff, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pix.ReadPNMFile(out); err != nil {
+		t.Errorf("output image unreadable: %v", err)
+	}
+	if _, err := pix.ReadPNMFile(diff); err != nil {
+		t.Errorf("diff image unreadable: %v", err)
+	}
+}
+
+func TestRunWithUserInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.pgm")
+	img, err := pix.SyntheticGray(24, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pix.WritePNMFile(in, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("conv2d", 0, 2, 1, 1.0, 0, in, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("nope", 16, 1, 1, 1.0, 0, "", "", "", false); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestBuildRejectsWrongChannelInputs(t *testing.T) {
+	dir := t.TempDir()
+	rgbPath := filepath.Join(dir, "in.ppm")
+	rgb, err := pix.SyntheticRGB(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pix.WritePNMFile(rgbPath, rgb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build("conv2d", 0, 1, 1, rgbPath); err == nil {
+		t.Error("conv2d accepted an RGB input")
+	}
+	if _, err := build("kmeans", 0, 1, 1, rgbPath); err != nil {
+		t.Errorf("kmeans rejected an RGB input: %v", err)
+	}
+	grayPath := filepath.Join(dir, "in.pgm")
+	gray, err := pix.SyntheticGray(8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pix.WritePNMFile(grayPath, gray); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build("kmeans", 0, 1, 1, grayPath); err == nil {
+		t.Error("kmeans accepted a grayscale input")
+	}
+}

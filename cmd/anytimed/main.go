@@ -1,0 +1,65 @@
+// Command anytimed serves anytime computations over HTTP — the paper's
+// introduction scenario ("imagine typing a search engine query and instead
+// of pressing the enter key, you hold it based on the desired amount of
+// precision") as a service: the longer a client is willing to hold the
+// request, the more precise the response.
+//
+// Usage:
+//
+//	anytimed [-addr :8080] [-size 256] [-workers 2]
+//
+// Endpoints (all return binary PGM/PPM with X-Anytime-* headers):
+//
+//	GET /blur?hold=50ms        blur a synthetic image, hold for a duration
+//	GET /blur?accept=25        …or until the output reaches 25 dB
+//	GET /equalize?hold=10ms    histogram equalization, same knobs
+//	GET /cluster?hold=100ms    k-means clustering, same knobs
+//
+// Omitting both hold and accept returns the precise output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	size := flag.Int("size", 256, "synthetic image side length")
+	workers := flag.Int("workers", 2, "workers per stage")
+	flag.Parse()
+
+	srv, err := newServer(*size, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("anytimed listening on %s (image %dx%d)", *addr, *size, *size)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// parseKnobs extracts the hold/accept stopping knobs from a request.
+func parseKnobs(r *http.Request) (hold time.Duration, accept float64, err error) {
+	if h := r.URL.Query().Get("hold"); h != "" {
+		hold, err = time.ParseDuration(h)
+		if err != nil || hold <= 0 {
+			return 0, 0, fmt.Errorf("bad hold duration %q", h)
+		}
+	}
+	if a := r.URL.Query().Get("accept"); a != "" {
+		accept, err = strconv.ParseFloat(a, 64)
+		if err != nil || accept <= 0 {
+			return 0, 0, fmt.Errorf("bad accept threshold %q", a)
+		}
+	}
+	if hold > 0 && accept > 0 {
+		return 0, 0, fmt.Errorf("hold and accept are mutually exclusive")
+	}
+	if hold > 10*time.Second {
+		return 0, 0, fmt.Errorf("hold capped at 10s")
+	}
+	return hold, accept, nil
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/apps/histeq"
+	"anytime/internal/apps/kmeans"
+	"anytime/internal/core"
+	"anytime/internal/metrics"
+	"anytime/internal/pix"
+)
+
+// server holds the prepared inputs and precise references so request
+// handling only pays for the automaton run itself.
+type server struct {
+	mux     *http.ServeMux
+	workers int
+	// sem bounds concurrently running automata; each request's automaton
+	// acquires a slot for its lifetime, so a burst of held requests cannot
+	// oversubscribe the machine.
+	sem chan struct{}
+
+	grayIn  *pix.Image
+	rgbIn   *pix.Image
+	blurRef *pix.Image
+	eqRef   *pix.Image
+	kmRef   *pix.Image
+}
+
+func newServer(size, workers int) (*server, error) {
+	gray, err := pix.SyntheticGray(size, size, 1)
+	if err != nil {
+		return nil, err
+	}
+	rgb, err := pix.SyntheticRGB(size, size, 1)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		mux:     http.NewServeMux(),
+		workers: workers,
+		sem:     make(chan struct{}, 8),
+		grayIn:  gray,
+		rgbIn:   rgb,
+	}
+	if s.blurRef, err = conv2d.Precise(gray, conv2d.Config{Workers: workers}); err != nil {
+		return nil, err
+	}
+	if s.eqRef, err = histeq.Precise(gray, histeq.Config{Workers: workers}); err != nil {
+		return nil, err
+	}
+	if s.kmRef, err = kmeans.Precise(rgb, kmeans.Config{Workers: workers}); err != nil {
+		return nil, err
+	}
+	s.mux.HandleFunc("GET /blur", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+		h, err := newConv2D(s)
+		return h.a, h.out, s.blurRef, err
+	}))
+	s.mux.HandleFunc("GET /equalize", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+		run, err := histeq.New(s.grayIn, histeq.Config{Workers: s.workers})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return run.Automaton, run.Out, s.eqRef, nil
+	}))
+	s.mux.HandleFunc("GET /cluster", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+		h, err := newKmeans(s)
+		return h.a, h.out, s.kmRef, err
+	}))
+	s.registerStreams()
+	s.mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "anytimed — hold a request for more precision")
+		fmt.Fprintln(w, "  GET /blur?hold=50ms      blur, stopped after 50ms")
+		fmt.Fprintln(w, "  GET /blur?accept=25      blur, stopped at 25 dB")
+		fmt.Fprintln(w, "  GET /equalize?hold=10ms  histogram equalization")
+		fmt.Fprintln(w, "  GET /cluster?hold=100ms  k-means clustering")
+		fmt.Fprintln(w, "  GET /blur/stream         live SSE: watch quality rise per version")
+		fmt.Fprintln(w, "  GET /cluster/stream      live SSE for k-means")
+		fmt.Fprintln(w, "no knob: precise output")
+	})
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleApp builds the common anytime-over-HTTP flow around an automaton
+// constructor.
+func (s *server) handleApp(build func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		hold, accept, err := parseKnobs(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !s.acquire(r) {
+			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+			return
+		}
+		defer s.release()
+		a, out, ref, err := build()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		start := time.Now()
+		var snap core.Snapshot[*pix.Image]
+		switch {
+		case accept > 0:
+			accepted := core.StopWhen(a, out, func(sn core.Snapshot[*pix.Image]) bool {
+				db, err := metrics.SNR(ref.Pix, sn.Value.Pix)
+				return err == nil && db >= accept
+			})
+			if err := a.Start(r.Context()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			sn, ok := <-accepted
+			if !ok {
+				http.Error(w, "no output produced", http.StatusInternalServerError)
+				return
+			}
+			snap = sn
+		case hold > 0:
+			cancel := core.StopAfter(a, hold)
+			defer cancel()
+			if err := a.Start(r.Context()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			<-a.Done()
+			sn, ok := out.Latest()
+			if !ok {
+				http.Error(w, "no output produced within the hold window", http.StatusGatewayTimeout)
+				return
+			}
+			snap = sn
+		default:
+			if err := a.Start(r.Context()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if err := a.Wait(); err != nil && !errors.Is(err, core.ErrStopped) {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			sn, ok := out.Latest()
+			if !ok {
+				http.Error(w, "no output produced", http.StatusInternalServerError)
+				return
+			}
+			snap = sn
+		}
+		a.Stop() // idempotent; releases the pipeline if a knob fired early
+
+		db, err := metrics.SNR(ref.Pix, snap.Value.Pix)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var buf bytes.Buffer
+		if err := pix.EncodePNM(&buf, snap.Value); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		ct := "image/x-portable-graymap"
+		if snap.Value.C == 3 {
+			ct = "image/x-portable-pixmap"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Header().Set("X-Anytime-Version", fmt.Sprint(snap.Version))
+		w.Header().Set("X-Anytime-Final", fmt.Sprint(snap.Final))
+		w.Header().Set("X-Anytime-SNR-dB", metrics.FormatDB(db))
+		w.Header().Set("X-Anytime-Elapsed", time.Since(start).String())
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// newConv2D constructs a fresh blur automaton over the server's input.
+func newConv2D(s *server) (appHandles, error) {
+	run, err := conv2d.New(s.grayIn, conv2d.Config{Workers: s.workers})
+	if err != nil {
+		return appHandles{}, err
+	}
+	return appHandles{a: run.Automaton, out: run.Out}, nil
+}
+
+// newKmeans constructs a fresh clustering automaton over the server's input.
+func newKmeans(s *server) (appHandles, error) {
+	run, err := kmeans.New(s.rgbIn, kmeans.Config{Workers: s.workers})
+	if err != nil {
+		return appHandles{}, err
+	}
+	return appHandles{a: run.Automaton, out: run.Out}, nil
+}
+
+// acquire takes a concurrency slot, giving up when the client goes away.
+func (s *server) acquire(r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *server) release() { <-s.sem }

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anytime/internal/pix"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte("hold a request")) {
+		t.Errorf("index: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, s, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", rec.Code)
+	}
+}
+
+func TestPreciseBlur(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/blur")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-Anytime-Final") != "true" {
+		t.Error("precise request did not return the final output")
+	}
+	if rec.Header().Get("X-Anytime-SNR-dB") != "inf" {
+		t.Errorf("precise SNR = %q", rec.Header().Get("X-Anytime-SNR-dB"))
+	}
+	img, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 64 || img.H != 64 || img.C != 1 {
+		t.Errorf("unexpected image geometry %dx%dx%d", img.W, img.H, img.C)
+	}
+	if !img.Equal(s.blurRef) {
+		t.Error("precise response differs from the reference")
+	}
+}
+
+func TestHeldBlurReturnsValidApproximation(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/blur?hold=3ms")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if _, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes())); err != nil {
+		t.Fatalf("held response not a valid image: %v", err)
+	}
+	if v := rec.Header().Get("X-Anytime-Version"); v == "" || v == "0" {
+		t.Errorf("version header %q", v)
+	}
+}
+
+func TestAcceptKnobStopsAtThreshold(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/blur?accept=10")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	snr := rec.Header().Get("X-Anytime-SNR-dB")
+	if snr == "inf" {
+		// Legal (small image may jump straight to precise) but the usual
+		// case should stop early; just check the header parses.
+		return
+	}
+	db, err := strconv.ParseFloat(snr, 64)
+	if err != nil {
+		t.Fatalf("bad SNR header %q", snr)
+	}
+	if db < 10 {
+		t.Errorf("accepted output below threshold: %v dB", db)
+	}
+}
+
+func TestClusterReturnsRGB(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/cluster?hold=5ms")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/x-portable-pixmap" {
+		t.Errorf("content type %q", ct)
+	}
+	img, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.C != 3 {
+		t.Errorf("cluster returned %d channels", img.C)
+	}
+}
+
+func TestEqualizePrecise(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/equalize")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	img, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(s.eqRef) {
+		t.Error("precise equalize differs from reference")
+	}
+}
+
+func TestKnobValidation(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		"/blur?hold=banana",
+		"/blur?hold=-5ms",
+		"/blur?accept=-1",
+		"/blur?accept=x",
+		"/blur?hold=5ms&accept=10",
+		"/blur?hold=11s",
+	}
+	for _, path := range cases {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestStreamEmitsVersionsAndEndsAtFinal(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/blur/stream")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	events := strings.Count(body, "data: ")
+	if events < 1 {
+		t.Fatalf("no SSE events:\n%s", body)
+	}
+	if !strings.Contains(body, `"final":true`) {
+		t.Errorf("stream did not end with the final version:\n%s", body)
+	}
+	if !strings.Contains(body, `"snr_db":"inf"`) {
+		t.Errorf("final event not precise:\n%s", body)
+	}
+}
+
+func TestClusterStream(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/cluster/stream")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"final":true`) {
+		t.Error("cluster stream missing final event")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"anytime/internal/core"
+	"anytime/internal/metrics"
+	"anytime/internal/pix"
+)
+
+// registerStreams adds the Server-Sent Events endpoints: the client watches
+// the whole-application output quality rise live, one event per published
+// version, and decides for itself when to stop listening — the
+// hold-the-power-button interaction with the button on the client side.
+func (s *server) registerStreams() {
+	s.mux.HandleFunc("GET /blur/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+		h, err := newConv2D(s)
+		return h.a, h.out, s.blurRef, err
+	}))
+	s.mux.HandleFunc("GET /cluster/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+		h, err := newKmeans(s)
+		return h.a, h.out, s.kmRef, err
+	}))
+}
+
+// handleStream emits one SSE event per published output version:
+//
+//	data: {"version":3,"final":false,"snr_db":"24.18","elapsed_ms":12}
+//
+// The stream ends at the final (precise) version; closing the request
+// stops the automaton.
+func (s *server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		if !s.acquire(r) {
+			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+			return
+		}
+		defer s.release()
+		a, out, ref, err := build()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+
+		sub := out.Subscribe(r.Context())
+		start := time.Now()
+		if err := a.Start(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer a.Stop()
+		for snap := range sub {
+			db, err := metrics.SNR(ref.Pix, snap.Value.Pix)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "data: {\"version\":%d,\"final\":%v,\"snr_db\":%q,\"elapsed_ms\":%d}\n\n",
+				snap.Version, snap.Final, metrics.FormatDB(db), time.Since(start).Milliseconds())
+			flusher.Flush()
+		}
+	}
+}
+
+// appHandles bundles a constructed automaton with its output buffer.
+type appHandles struct {
+	a   *core.Automaton
+	out *core.Buffer[*pix.Image]
+}

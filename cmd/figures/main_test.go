@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"anytime/internal/harness"
+)
+
+var smokeOpt = harness.Options{Size: 48, Workers: 2, Seed: 3, BaselineReps: 1}
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run("fig13", smokeOpt, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	if err := run("fig11", smokeOpt, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSnapshotWithOutdir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig17", harness.Options{Size: 64, Workers: 2, Seed: 3, BaselineReps: 1}, dir, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	if err := run("fig10", harness.Options{Size: 48, Seed: 1}, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("fig99", smokeOpt, "", false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Command permviz visualizes the sampling permutations of §III-B2 as ASCII
+// frames — the construction behind the paper's Figures 4 (1-D tree) and 5
+// (2-D tree), plus the LFSR pseudo-random order of Figure 3.
+//
+// Usage:
+//
+//	permviz [-kind tree1d|tree2d|random|sequential] [-rows N] [-cols N]
+//	        [-seed N] [-frames N]
+//
+// Each frame shows which elements have been visited ('#') after a
+// power-of-two prefix of the order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anytime/internal/perm"
+)
+
+func main() {
+	kind := flag.String("kind", "tree2d", "permutation: tree1d, tree2d, random, sequential")
+	rows := flag.Int("rows", 8, "rows (tree2d) or ignored")
+	cols := flag.Int("cols", 8, "columns (tree2d) or length (others)")
+	seed := flag.Uint64("seed", 1, "seed for the pseudo-random order")
+	frames := flag.Int("frames", 0, "number of doubling frames to show (0 = all)")
+	flag.Parse()
+
+	if err := run(*kind, *rows, *cols, *seed, *frames); err != nil {
+		fmt.Fprintln(os.Stderr, "permviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, rows, cols int, seed uint64, frames int) error {
+	var (
+		ord  perm.Order
+		err  error
+		grid bool
+	)
+	switch kind {
+	case "tree1d":
+		ord, err = perm.Tree1D(cols)
+	case "tree2d":
+		ord, err = perm.Tree2D(rows, cols)
+		grid = true
+	case "random":
+		ord, err = perm.PseudoRandom(cols, seed)
+	case "sequential":
+		ord, err = perm.Sequential(cols)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	n := ord.Len()
+	if n == 0 {
+		fmt.Println("(empty order)")
+		return nil
+	}
+	fmt.Printf("%s order over %d elements; visit order:\n", kind, n)
+	if n <= 64 {
+		idx := make([]string, n)
+		for i := 0; i < n; i++ {
+			idx[i] = fmt.Sprint(ord.At(i))
+		}
+		fmt.Println(" ", strings.Join(idx, " "))
+	}
+	shown := 0
+	for prefix := 1; prefix <= n; prefix *= 2 {
+		printFrame(ord, prefix, rows, cols, grid)
+		shown++
+		if frames > 0 && shown >= frames {
+			return nil
+		}
+		if prefix == n {
+			break
+		}
+		if prefix*2 > n {
+			printFrame(ord, n, rows, cols, grid)
+			break
+		}
+	}
+	return nil
+}
+
+func printFrame(ord perm.Order, prefix, rows, cols int, grid bool) {
+	visited := make(map[int]bool, prefix)
+	for i := 0; i < prefix && i < ord.Len(); i++ {
+		visited[ord.At(i)] = true
+	}
+	fmt.Printf("\nafter %d elements:\n", prefix)
+	if !grid {
+		var b strings.Builder
+		for i := 0; i < ord.Len(); i++ {
+			if visited[i] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Println(" ", b.String())
+		return
+	}
+	for r := 0; r < rows; r++ {
+		var b strings.Builder
+		for c := 0; c < cols; c++ {
+			if visited[r*cols+c] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		fmt.Println(" ", b.String())
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range []string{"tree1d", "tree2d", "random", "sequential"} {
+		if err := run(kind, 8, 8, 1, 3); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	if err := run("spiral", 8, 8, 1, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunEmptyOrder(t *testing.T) {
+	if err := run("sequential", 8, 0, 1, 0); err != nil {
+		t.Errorf("empty order: %v", err)
+	}
+}
+
+func TestRunNonPowerOfTwo(t *testing.T) {
+	if err := run("tree2d", 5, 7, 1, 0); err != nil {
+		t.Errorf("non-power-of-two grid: %v", err)
+	}
+}

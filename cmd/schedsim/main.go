@@ -1,0 +1,72 @@
+// Command schedsim evaluates worker-allocation policies for anytime
+// automaton pipelines on the paper's Figure 2 example (§IV-C2).
+//
+// Usage:
+//
+//	schedsim [-workers N] [-sweep]
+//
+// It prints, per policy: the allocation, the time to the first
+// whole-application output, the mean gap between consecutive outputs, and
+// the time to the precise output. With -sweep it repeats over a range of
+// budgets, showing how the tradeoff evolves with available parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"anytime/internal/sched"
+)
+
+func main() {
+	workers := flag.Int("workers", 16, "total worker budget")
+	sweep := flag.Bool("sweep", false, "sweep budgets 4..32")
+	pipeline := flag.String("pipeline", "figure2", "pipeline model: figure2 or histeq")
+	flag.Parse()
+
+	var p sched.Pipeline
+	switch *pipeline {
+	case "figure2":
+		p = sched.Figure2Pipeline()
+	case "histeq":
+		p = sched.HisteqPipeline()
+	default:
+		fmt.Fprintf(os.Stderr, "schedsim: unknown pipeline %q\n", *pipeline)
+		os.Exit(1)
+	}
+	budgets := []int{*workers}
+	if *sweep {
+		budgets = []int{4, 8, 16, 32}
+	}
+	for _, b := range budgets {
+		fmt.Printf("%s pipeline, %d workers:\n", *pipeline, b)
+		rows, err := sched.Compare(p, b, sched.DefaultPolicies())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-14s %-16s %12s %10s %10s\n", "policy", "allocation", "first-output", "mean-gap", "precise")
+		for _, r := range rows {
+			fmt.Printf("  %-14s %-16s %12.2f %10.2f %10.2f\n",
+				r.Policy, allocString(r.Allocation), r.FirstOutput, r.MeanGap, r.Final)
+		}
+		dyn, err := sched.SimulateDynamic(p, b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  %-14s %-16s %12.2f %10.2f %10.2f\n",
+			"dynamic", "(reassigned)", dyn.FirstOutput, dyn.MeanGap, dyn.Final)
+		fmt.Println()
+	}
+}
+
+func allocString(a []int) string {
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,140 @@
+package anytime_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"anytime"
+)
+
+// ExampleDiffusive builds the smallest complete automaton: a diffusive
+// stage that sums 0..999 with exact-once updates and four published
+// approximations.
+func ExampleDiffusive() {
+	var acc int64
+	out := anytime.NewBuffer[int64]("sum", nil)
+	a := anytime.New()
+	if err := a.AddStage("sum", func(c *anytime.Context) error {
+		return anytime.Diffusive(c, out, 1000,
+			func(pos int) error { acc += int64(pos); return nil },
+			func(processed int) (int64, error) {
+				// Weight the partial sum up to the population.
+				return anytime.ScaleCount(acc, processed, 1000), nil
+			},
+			anytime.RoundConfig{Granularity: 250})
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	snap, _ := out.Latest()
+	fmt.Println(snap.Value, snap.Final)
+	// Output: 499500 true
+}
+
+// ExampleTree2D shows the progressive-resolution visit order of the paper's
+// Figure 5 on a 4x4 grid.
+func ExampleTree2D() {
+	ord, err := anytime.Tree2D(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		idx := ord.At(i)
+		fmt.Printf("(%d,%d) ", idx/4, idx%4)
+	}
+	fmt.Println()
+	// Output: (0,0) (0,2) (2,0) (2,2)
+}
+
+// ExampleIterative runs a computation at two accuracy levels; the second
+// pass is the precise function.
+func ExampleIterative() {
+	out := anytime.NewBuffer[string]("answer", nil)
+	a := anytime.New()
+	if err := a.AddStage("answer", func(c *anytime.Context) error {
+		return anytime.Iterative(c, out, []func() (string, error){
+			func() (string, error) { return "roughly 42", nil },
+			func() (string, error) { return "exactly 42", nil },
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	snap, _ := out.Latest()
+	fmt.Println(snap.Value, snap.Version, snap.Final)
+	// Output: exactly 42 2 true
+}
+
+// ExampleAsyncConsume wires a two-stage asynchronous pipeline: the child
+// recomputes on whichever parent snapshot is current and finishes on the
+// final one.
+func ExampleAsyncConsume() {
+	parent := anytime.NewBuffer[int]("f", nil)
+	child := anytime.NewBuffer[int]("g", nil)
+	a := anytime.New()
+	if err := a.AddStage("f", func(c *anytime.Context) error {
+		return anytime.Iterative(c, parent, []func() (int, error){
+			func() (int, error) { return 40, nil },
+			func() (int, error) { return 42, nil },
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.AddStage("g", func(c *anytime.Context) error {
+		return anytime.AsyncConsume(c, parent, func(s anytime.Snapshot[int]) error {
+			_, err := child.Publish(s.Value*2, s.Final)
+			return err
+		})
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	snap, _ := child.Latest()
+	fmt.Println(snap.Value, snap.Final)
+	// Output: 84 true
+}
+
+// ExampleStopWhen stops an automaton automatically once the output crosses
+// an acceptability bar.
+func ExampleStopWhen() {
+	out := anytime.NewBuffer[int]("count", nil)
+	a := anytime.New()
+	if err := a.AddStage("count", func(c *anytime.Context) error {
+		for i := 1; i <= 1000; i++ {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			if _, err := out.Publish(i, i == 1000); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	accepted := anytime.StopWhen(a, out, func(s anytime.Snapshot[int]) bool {
+		return s.Value >= 10
+	})
+	if err := a.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	snap := <-accepted
+	fmt.Println(snap.Value >= 10)
+	// Output: true
+}

@@ -1,0 +1,152 @@
+// Contract: the other half of the anytime taxonomy (paper §II-B).
+//
+// Interruptible anytime algorithms — the automaton's native mode — can be
+// stopped at any moment. Contract algorithms are handed a time budget up
+// front and schedule their own computations to meet it ("design-to-time").
+// This example runs the same multi-resolution estimator both ways:
+//
+//   - contract mode picks the most accurate resolution whose estimated cost
+//     fits the budget, then upgrades if time is left over;
+//   - interruptible mode just runs and is stopped at the deadline.
+//
+// Run:
+//
+//	go run ./examples/contract [-budget 30ms]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"anytime"
+)
+
+// estimatePi estimates pi by counting lattice points inside the quarter
+// circle at the given grid resolution — a natural multi-resolution
+// computation whose cost grows quadratically with resolution.
+func estimatePi(resolution int) float64 {
+	inside := 0
+	r2 := float64(resolution) * float64(resolution)
+	for y := 0; y < resolution; y++ {
+		for x := 0; x < resolution; x++ {
+			fx, fy := float64(x)+0.5, float64(y)+0.5
+			if fx*fx+fy*fy <= r2 {
+				inside++
+			}
+		}
+	}
+	return 4 * float64(inside) / (r2)
+}
+
+func main() {
+	budget := flag.Duration("budget", 30*time.Millisecond, "time contract / interrupt deadline")
+	flag.Parse()
+	if err := run(*budget); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(budget time.Duration) error {
+	resolutions := []int{256, 1024, 4096, 16384}
+
+	// Calibrate cost estimates from the coarsest level (cost ~ r^2).
+	start := time.Now()
+	estimatePi(resolutions[0])
+	unit := time.Since(start)
+	if unit <= 0 {
+		unit = time.Microsecond
+	}
+
+	// Contract mode.
+	passes := make([]anytime.ContractPass[float64], len(resolutions))
+	for i, r := range resolutions {
+		scale := float64(r*r) / float64(resolutions[0]*resolutions[0])
+		passes[i] = anytime.ContractPass[float64]{
+			Name:    fmt.Sprintf("grid %dx%d", r, r),
+			EstCost: time.Duration(float64(unit) * scale),
+			Run:     func() (float64, error) { return estimatePi(r), nil },
+		}
+	}
+	contractOut := anytime.NewBuffer[float64]("contract", nil)
+	a := anytime.New()
+	var ran int
+	if err := a.AddStage("pi", func(c *anytime.Context) error {
+		var err error
+		ran, err = anytime.RunContract(c, contractOut, passes, budget)
+		return err
+	}); err != nil {
+		return err
+	}
+	start = time.Now()
+	if err := a.Start(context.Background()); err != nil {
+		return err
+	}
+	if err := a.Wait(); err != nil {
+		return err
+	}
+	snap, _ := contractOut.Latest()
+	fmt.Printf("contract (%v budget): ran %s in %v -> pi ~= %.6f (error %.2e, final=%v)\n",
+		budget, passes[ran].Name, time.Since(start).Round(time.Millisecond),
+		snap.Value, math.Abs(snap.Value-math.Pi), snap.Final)
+
+	// Interruptible mode: a diffusive row-sampled estimator at the finest
+	// resolution, stopped at the deadline.
+	const res = 16384
+	// Rows are sampled in tree (bit-reverse) order: sequential order would
+	// bias the estimate toward the top of the circle, the memory-order
+	// bias §III-B2 warns about.
+	ord, err := anytime.Tree1D(res)
+	if err != nil {
+		return err
+	}
+	intOut := anytime.NewBuffer[float64]("interruptible", nil)
+	b := anytime.New()
+	if err := b.AddStage("pi", func(c *anytime.Context) error {
+		inside := 0
+		r2 := float64(res) * float64(res)
+		return anytime.Diffusive(c, intOut, res,
+			func(pos int) error {
+				// Scan the row point by point — the same per-sample work
+				// the contract passes do, so the comparison is honest.
+				fy := float64(ord.At(pos)) + 0.5
+				for x := 0; x < res; x++ {
+					fx := float64(x) + 0.5
+					if fx*fx+fy*fy <= r2 {
+						inside++
+					}
+				}
+				return nil
+			},
+			func(processed int) (float64, error) {
+				if processed == 0 {
+					return 0, nil
+				}
+				return 4 * float64(inside) / (float64(processed) * float64(res)), nil
+			},
+			anytime.RoundConfig{Granularity: res / 256})
+	}); err != nil {
+		return err
+	}
+	cancel := anytime.StopAfter(b, budget)
+	defer cancel()
+	start = time.Now()
+	if err := b.Start(context.Background()); err != nil {
+		return err
+	}
+	if err := b.Wait(); err != nil && !errors.Is(err, anytime.ErrStopped) {
+		return err
+	}
+	isnap, ok := intOut.Latest()
+	if !ok {
+		return fmt.Errorf("interruptible run produced no output in %v", budget)
+	}
+	fmt.Printf("interruptible (stopped at %v): version %d in %v -> pi ~= %.6f (error %.2e, final=%v)\n",
+		budget, isnap.Version, time.Since(start).Round(time.Millisecond),
+		isnap.Value, math.Abs(isnap.Value-math.Pi), isnap.Final)
+	return nil
+}

@@ -1,0 +1,102 @@
+// Dotproduct: paper Figure 6 — an anytime reduced-precision fixed-point
+// dot product, computed bit-serially.
+//
+// A two's-complement integer is a sum of signed powers of two, so the dot
+// product I · W distributes over W's bit planes. Processing the planes
+// most-significant-first with a sequential sampling permutation makes the
+// computation diffusive: after k planes the running result equals the dot
+// product at k-bit precision, and after all planes it is exact — with no
+// more arithmetic than the precise computation (integer multiplication is
+// a sum of partial products anyway).
+//
+// Run:
+//
+//	go run ./examples/dotproduct
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"anytime"
+)
+
+const width = 16 // operand precision in bits
+
+func main() {
+	const n = 1 << 16
+	i16 := make([]int64, n) // I operand (kept full precision)
+	w16 := make([]int32, n) // W operand (sampled bit-serially)
+	for j := 0; j < n; j++ {
+		i16[j] = int64(int16(uint16(j*31 + 7)))
+		w16[j] = int32(int16(uint16(j*j*17 + 3)))
+	}
+	var exact int64
+	for j := 0; j < n; j++ {
+		exact += i16[j] * int64(w16[j])
+	}
+
+	// The data set is the bit planes of W, in MSB-first priority order —
+	// the paper's sequential permutation for priority-ordered sets.
+	ord, err := anytime.Sequential(width)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var acc int64
+	out := anytime.NewBuffer[int64]("dot", nil)
+	out.OnPublish(func(s anytime.Snapshot[int64]) {
+		rel := 0.0
+		if exact != 0 {
+			rel = 100 * math.Abs(float64(s.Value-exact)) / math.Abs(float64(exact))
+		}
+		fmt.Printf("%2d-bit precision: %16d  (error %8.4f%%)%s\n",
+			s.Version, s.Value, rel, finalMark(s.Final))
+	})
+
+	a := anytime.New()
+	if err := a.AddStage("dot", func(c *anytime.Context) error {
+		return anytime.Diffusive(c, out, ord.Len(),
+			func(pos int) error {
+				plane := uint(width - 1 - ord.At(pos)) // MSB first
+				var sum int64
+				for j := 0; j < n; j++ {
+					sum += i16[j] * int64(planeValue(w16[j], plane))
+				}
+				acc += sum
+				return nil
+			},
+			func(processed int) (int64, error) { return acc, nil },
+			anytime.RoundConfig{Granularity: 1}) // publish after every plane
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact dot product: %d\n", exact)
+}
+
+// planeValue is the signed contribution of one bit plane of a width-bit
+// two's-complement value (the sign plane contributes negatively).
+func planeValue(v int32, plane uint) int32 {
+	if (uint32(v)>>plane)&1 == 0 {
+		return 0
+	}
+	if plane == width-1 {
+		return -(int32(1) << plane)
+	}
+	return int32(1) << plane
+}
+
+func finalMark(final bool) string {
+	if final {
+		return "  <- precise"
+	}
+	return ""
+}

@@ -1,0 +1,185 @@
+// Package debayer implements the debayer benchmark of the paper's
+// evaluation (§IV-A2): converting a single-sensor Bayer filter mosaic
+// (GRBG layout) to a full RGB image by bilinear interpolation. Like 2dconv,
+// its anytime automaton is a single diffusive stage using output sampling
+// with a two-dimensional tree permutation (Figure 14).
+package debayer
+
+import (
+	"fmt"
+
+	"anytime/internal/core"
+	"anytime/internal/par"
+	"anytime/internal/perm"
+	"anytime/internal/pix"
+	"anytime/internal/sampling"
+)
+
+// Config parameterizes the baseline and the automaton.
+type Config struct {
+	// Workers is the number of sampling workers. Default 1.
+	Workers int
+	// Granularity is the number of output pixels interpolated per
+	// published snapshot. Default pixels/12 (publishing an RGB snapshot
+	// costs a full-image render, so it must stay coarse relative to the
+	// cheap per-pixel interpolation).
+	Granularity int
+	// OnSnapshot, if non-nil, is invoked after each publish with the
+	// number of output pixels computed so far and the published image.
+	OnSnapshot func(processed int, img *pix.Image)
+}
+
+func (cfg Config) withDefaults(pixels int) Config {
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = pixels / 12
+		if cfg.Granularity < 1 {
+			cfg.Granularity = 1
+		}
+	}
+	return cfg
+}
+
+func (cfg Config) validate(in *pix.Image) error {
+	if in.C != 1 {
+		return fmt.Errorf("debayer: input mosaic must be single-channel, got %d channels", in.C)
+	}
+	if cfg.Workers < 1 {
+		return fmt.Errorf("debayer: workers %d must be positive", cfg.Workers)
+	}
+	if cfg.Granularity < 0 {
+		return fmt.Errorf("debayer: negative granularity %d", cfg.Granularity)
+	}
+	return nil
+}
+
+// interpolate computes the full RGB value at (x, y) of the GRBG mosaic by
+// averaging the nearest mosaic sites of each color channel (bilinear
+// demosaicing with clamped borders).
+func interpolate(m *pix.Image, x, y int) (r, g, b int32) {
+	for c := 0; c < 3; c++ {
+		v := channelAt(m, x, y, c)
+		switch c {
+		case 0:
+			r = v
+		case 1:
+			g = v
+		default:
+			b = v
+		}
+	}
+	return r, g, b
+}
+
+// channelAt estimates channel c at (x, y) by averaging the mosaic samples
+// of that channel in the 3x3 neighborhood (including (x, y) itself when the
+// mosaic samples c there).
+func channelAt(m *pix.Image, x, y, c int) int32 {
+	if pix.BayerChannelGRBG(x, y) == c {
+		return m.Gray(x, y)
+	}
+	var sum int64
+	var count int64
+	for dy := -1; dy <= 1; dy++ {
+		yy := y + dy
+		if yy < 0 || yy >= m.H {
+			continue
+		}
+		for dx := -1; dx <= 1; dx++ {
+			xx := x + dx
+			if xx < 0 || xx >= m.W {
+				continue
+			}
+			if pix.BayerChannelGRBG(xx, yy) == c {
+				sum += int64(m.Gray(xx, yy))
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		// Degenerate geometry (e.g. 1-pixel-wide images may lack a channel
+		// site nearby); fall back to the raw sensor sample.
+		return m.Gray(x, y)
+	}
+	return int32((sum + count/2) / count)
+}
+
+// Precise computes the baseline demosaiced RGB image in parallel over row
+// bands.
+func Precise(in *pix.Image, cfg Config) (*pix.Image, error) {
+	cfg = cfg.withDefaults(in.Pixels())
+	if err := cfg.validate(in); err != nil {
+		return nil, err
+	}
+	out, err := pix.NewRGB(in.W, in.H)
+	if err != nil {
+		return nil, err
+	}
+	par.Rows(in.H, cfg.Workers, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < in.W; x++ {
+				r, g, b := interpolate(in, x, y)
+				out.Set(x, y, 0, r)
+				out.Set(x, y, 1, g)
+				out.Set(x, y, 2, b)
+			}
+		}
+	})
+	return out, nil
+}
+
+// Run is a constructed debayer anytime automaton with its output buffer.
+type Run struct {
+	Automaton *core.Automaton
+	Out       *core.Buffer[*pix.Image]
+}
+
+// New builds the debayer anytime automaton: one diffusive stage that
+// interpolates output pixels in 2D tree order, publishing progressively
+// higher-resolution RGB approximations and finally the precise image.
+func New(in *pix.Image, cfg Config) (*Run, error) {
+	cfg = cfg.withDefaults(in.Pixels())
+	if err := cfg.validate(in); err != nil {
+		return nil, err
+	}
+	ord, err := perm.Tree2D(in.H, in.W)
+	if err != nil {
+		return nil, err
+	}
+	working, err := pix.NewRGB(in.W, in.H)
+	if err != nil {
+		return nil, err
+	}
+	filled := make([]bool, in.W*in.H)
+	out := core.NewBuffer[*pix.Image]("debayer", nil)
+	a := core.New()
+	err = a.AddStage("interpolate", func(c *core.Context) error {
+		return sampling.Map(c, out, ord,
+			func(dst int) error {
+				x, y := dst%in.W, dst/in.W
+				r, g, b := interpolate(in, x, y)
+				working.Set(x, y, 0, r)
+				working.Set(x, y, 1, g)
+				working.Set(x, y, 2, b)
+				filled[dst] = true
+				return nil
+			},
+			func(processed int) (*pix.Image, error) {
+				img, err := pix.HoldFill(working, filled)
+				if err != nil {
+					return nil, err
+				}
+				if cfg.OnSnapshot != nil {
+					cfg.OnSnapshot(processed, img)
+				}
+				return img, nil
+			},
+			core.RoundConfig{Granularity: cfg.Granularity, Workers: cfg.Workers})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Automaton: a, Out: out}, nil
+}

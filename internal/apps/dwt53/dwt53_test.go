@@ -1,0 +1,261 @@
+package dwt53
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"anytime/internal/metrics"
+	"anytime/internal/perforate"
+	"anytime/internal/pix"
+)
+
+func testImage(t *testing.T, w, h int) *pix.Image {
+	t.Helper()
+	im, err := pix.SyntheticGray(w, h, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestConfigValidation(t *testing.T) {
+	in := testImage(t, 16, 16)
+	bad := []Config{
+		{Levels: -1},
+		{Workers: -2},
+		{Strides: perforate.Schedule{4, 2}},    // missing final 1
+		{Strides: perforate.Schedule{2, 2, 1}}, // not strictly decreasing
+	}
+	for _, cfg := range bad {
+		if _, err := Precise(in, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+		if _, err := New(in, cfg); err == nil {
+			t.Errorf("config %+v accepted by New", cfg)
+		}
+	}
+	rgb := pix.MustNew(4, 4, 3)
+	if _, err := Precise(rgb, Config{}); err == nil {
+		t.Error("RGB input accepted")
+	}
+	if _, err := Forward(in, Config{}, 0); err == nil {
+		t.Error("stride 0 accepted")
+	}
+}
+
+// TestLift1DRoundTrip: the 1D lifting at stride 1 is exactly invertible for
+// arbitrary signals and lengths, including odd lengths and extreme values.
+func TestLift1DRoundTrip(t *testing.T) {
+	f := func(raw []int16, pad uint8) bool {
+		n := len(raw)
+		if n == 0 {
+			return true
+		}
+		src := make([]int32, n)
+		for i, v := range raw {
+			src[i] = int32(v)
+		}
+		packed := make([]int32, n)
+		fwdLift1D(func(i int) int32 { return src[i] },
+			func(i int, v int32) { packed[i] = v }, n, 1)
+		rec := make([]int32, n)
+		invLift1D(func(i int) int32 { return packed[i] },
+			func(i int, v int32) { rec[i] = v }, n)
+		for i := range src {
+			if rec[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLift1DTinySignals(t *testing.T) {
+	for _, src := range [][]int32{{5}, {5, -3}, {1, 2, 3}, {9, 9, 9, 9}} {
+		n := len(src)
+		packed := make([]int32, n)
+		fwdLift1D(func(i int) int32 { return src[i] },
+			func(i int, v int32) { packed[i] = v }, n, 1)
+		rec := make([]int32, n)
+		invLift1D(func(i int) int32 { return packed[i] },
+			func(i int, v int32) { rec[i] = v }, n)
+		for i := range src {
+			if rec[i] != src[i] {
+				t.Fatalf("signal %v: rec %v", src, rec)
+			}
+		}
+	}
+}
+
+// TestForwardInverseIdentity: the precise 2D multi-level transform is
+// losslessly invertible for arbitrary image sizes.
+func TestForwardInverseIdentity(t *testing.T) {
+	f := func(rawW, rawH uint8, levels uint8) bool {
+		w := int(rawW)%40 + 1
+		h := int(rawH)%40 + 1
+		cfg := Config{Levels: int(levels)%4 + 1}
+		in, err := pix.SyntheticGray(w, h, uint64(w*h))
+		if err != nil {
+			return false
+		}
+		got, err := Precise(in, cfg)
+		if err != nil {
+			return false
+		}
+		return got.Equal(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardCompacts(t *testing.T) {
+	// A smooth image's detail coefficients must be small: check that the
+	// top-left (approximation) region carries most of the energy.
+	in := testImage(t, 64, 64)
+	coef, err := Forward(in, Config{Levels: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var approxEnergy, detailEnergy float64
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			e := float64(coef.Gray(x, y)) * float64(coef.Gray(x, y))
+			if x < 32 && y < 32 {
+				approxEnergy += e
+			} else {
+				detailEnergy += e
+			}
+		}
+	}
+	if approxEnergy < 10*detailEnergy {
+		t.Errorf("energy not compacted: approx %v detail %v", approxEnergy, detailEnergy)
+	}
+}
+
+func TestPerforatedStridesImproveMonotonically(t *testing.T) {
+	in := testImage(t, 64, 64)
+	cfg := Config{}
+	var prev float64 = math.Inf(-1)
+	for _, stride := range []int{8, 4, 2} {
+		coef, err := Forward(in, cfg, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Inverse(coef, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := metrics.SNR(in.Pix, rec.Pix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db < prev {
+			t.Errorf("stride %d SNR %v dB below coarser stride's %v dB", stride, db, prev)
+		}
+		prev = db
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	in := testImage(t, 48, 40)
+	a, err := Forward(in, Config{Workers: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Forward(in, Config{Workers: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("parallel forward differs from serial")
+	}
+}
+
+func TestAutomatonFinalEqualsInput(t *testing.T) {
+	in := testImage(t, 64, 64)
+	for _, workers := range []int{1, 4} {
+		run, err := New(in, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Automaton.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Automaton.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		snap, ok := run.Out.Latest()
+		if !ok || !snap.Final {
+			t.Fatal("no final output")
+		}
+		if !snap.Value.Equal(in) {
+			t.Errorf("workers=%d: final reconstruction differs from input (lossless 5/3 violated)", workers)
+		}
+	}
+}
+
+func TestAutomatonPassesReportStrides(t *testing.T) {
+	in := testImage(t, 32, 32)
+	var strides []int
+	var snrs []float64
+	run, err := New(in, Config{OnPass: func(stride int, img *pix.Image) {
+		strides = append(strides, stride)
+		db, err := metrics.SNR(in.Pix, img.Pix)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		snrs = append(snrs, db)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Automaton.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Automaton.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(strides) == 0 {
+		t.Fatal("no passes observed")
+	}
+	if strides[len(strides)-1] != 1 {
+		t.Errorf("last pass stride = %d, want 1", strides[len(strides)-1])
+	}
+	if !math.IsInf(snrs[len(snrs)-1], 1) {
+		t.Errorf("final pass SNR = %v, want +Inf", snrs[len(snrs)-1])
+	}
+	// The async consumer may skip intermediate passes, but observed strides
+	// must be decreasing.
+	for i := 1; i < len(strides); i++ {
+		if strides[i] >= strides[i-1] {
+			t.Errorf("strides not decreasing: %v", strides)
+		}
+	}
+}
+
+func TestTinyImages(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {2, 2}, {3, 1}, {1, 5}, {5, 7}} {
+		in := testImage(t, dim[0], dim[1])
+		run, err := New(in, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Automaton.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Automaton.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := run.Out.Latest()
+		if !snap.Value.Equal(in) {
+			t.Errorf("%v: final != input", dim)
+		}
+	}
+}

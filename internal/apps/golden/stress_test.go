@@ -1,0 +1,146 @@
+package golden
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/apps/debayer"
+	"anytime/internal/apps/dwt53"
+	"anytime/internal/apps/histeq"
+	"anytime/internal/apps/kmeans"
+	"anytime/internal/core"
+	"anytime/internal/pix"
+)
+
+// TestAllAppsConcurrently runs every benchmark automaton at the same time
+// in one process (run with -race during development): the model's
+// correctness must be independent of cross-automaton scheduling pressure.
+func TestAllAppsConcurrently(t *testing.T) {
+	gray, err := pix.SyntheticGray(48, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rgb, err := pix.SyntheticRGB(48, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mosaic, err := pix.BayerGRBG(rgb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type job struct {
+		name string
+		want *pix.Image
+		a    *core.Automaton
+		out  *core.Buffer[*pix.Image]
+	}
+	var jobs []job
+
+	add := func(name string, want *pix.Image, a *core.Automaton, out *core.Buffer[*pix.Image], err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		jobs = append(jobs, job{name: name, want: want, a: a, out: out})
+	}
+
+	cw, err := conv2d.Precise(gray, conv2d.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := conv2d.New(gray, conv2d.Config{Workers: 2})
+	add("conv2d", cw, cr.Automaton, cr.Out, err)
+
+	hw, err := histeq.Precise(gray, histeq.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := histeq.New(gray, histeq.Config{Workers: 2})
+	add("histeq", hw, hr.Automaton, hr.Out, err)
+
+	dr, err := dwt53.New(gray, dwt53.Config{Workers: 2})
+	add("dwt53", gray, dr.Automaton, dr.Out, err)
+
+	bw, err := debayer.Precise(mosaic, debayer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := debayer.New(mosaic, debayer.Config{Workers: 2})
+	add("debayer", bw, br.Automaton, br.Out, err)
+
+	kw, err := kmeans.Precise(rgb, kmeans.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := kmeans.New(rgb, kmeans.Config{Workers: 2})
+	add("kmeans", kw, kr.Automaton, kr.Out, err)
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			if err := j.a.Start(context.Background()); err != nil {
+				t.Errorf("%s: %v", j.name, err)
+				return
+			}
+			if err := j.a.Wait(); err != nil {
+				t.Errorf("%s: %v", j.name, err)
+				return
+			}
+			snap, ok := j.out.Latest()
+			if !ok || !snap.Final {
+				t.Errorf("%s: no final snapshot", j.name)
+				return
+			}
+			if !snap.Value.Equal(j.want) {
+				t.Errorf("%s: concurrent run differs from precise baseline", j.name)
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+// TestPauseResumeUnderLoad pauses and resumes an automaton repeatedly while
+// it runs; the final output must still be exact.
+func TestPauseResumeUnderLoad(t *testing.T) {
+	gray, err := pix.SyntheticGray(64, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := conv2d.Precise(gray, conv2d.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := conv2d.New(gray, conv2d.Config{Workers: 2, Granularity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Automaton.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-run.Automaton.Done():
+				return
+			default:
+			}
+			run.Automaton.Pause()
+			run.Automaton.Resume()
+		}
+	}()
+	if err := run.Automaton.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	snap, _ := run.Out.Latest()
+	if !snap.Value.Equal(want) {
+		t.Error("pause/resume storm corrupted the final output")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStopped is the error stages observe at a Checkpoint after the
+// automaton has been stopped. Automaton.Wait returns it when execution was
+// interrupted before the precise output was reached — which, in the anytime
+// model, is a legitimate outcome, not a failure: the output buffers hold the
+// latest published approximations.
+var ErrStopped = errors.New("core: automaton stopped")
+
+type automatonState int
+
+const (
+	stateIdle automatonState = iota
+	stateRunning
+	stateDone
+)
+
+// Automaton supervises the parallel pipeline: it owns the stage goroutines,
+// the pause gate, and cancellation. Build one with New, register each
+// stage's loop with AddStage, then Start it. The automaton finishes either
+// when every stage has returned (the precise output has been reached) or
+// when Stop interrupts it.
+type Automaton struct {
+	gate *gate
+
+	mu     sync.Mutex
+	state  automatonState
+	stages []registeredStage
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+
+	wg sync.WaitGroup
+}
+
+type registeredStage struct {
+	name string
+	fn   func(*Context) error
+}
+
+// New returns an empty automaton, ready for stage registration.
+func New() *Automaton {
+	return &Automaton{
+		gate: newGate(),
+		done: make(chan struct{}),
+	}
+}
+
+// AddStage registers a stage loop under the given name. fn runs on its own
+// goroutine once the automaton starts; it should publish to exactly one
+// Buffer (Property 2) and call Context.Checkpoint between units of work so
+// pause and stop take effect promptly. Stages must be added before Start.
+func (a *Automaton) AddStage(name string, fn func(*Context) error) error {
+	if fn == nil {
+		return fmt.Errorf("core: stage %q has nil function", name)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.state != stateIdle {
+		return fmt.Errorf("core: cannot add stage %q after start", name)
+	}
+	a.stages = append(a.stages, registeredStage{name: name, fn: fn})
+	return nil
+}
+
+// Start launches every registered stage. The provided context bounds the
+// whole execution: cancelling it is equivalent to Stop.
+func (a *Automaton) Start(ctx context.Context) error {
+	a.mu.Lock()
+	if a.state != stateIdle {
+		a.mu.Unlock()
+		return errors.New("core: automaton already started")
+	}
+	if len(a.stages) == 0 {
+		a.mu.Unlock()
+		return errors.New("core: automaton has no stages")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	a.cancel = cancel
+	a.state = stateRunning
+	stages := a.stages
+	a.mu.Unlock()
+
+	a.wg.Add(len(stages))
+	for _, s := range stages {
+		go func() {
+			defer a.wg.Done()
+			// A panicking stage must bring the automaton down as a stage
+			// failure, not kill the whole process: the other stages' output
+			// buffers still hold valid approximations.
+			defer func() {
+				if r := recover(); r != nil {
+					a.recordError(s.name, fmt.Errorf("panic: %v", r))
+				}
+			}()
+			sc := &Context{ctx: runCtx, a: a, name: s.name}
+			if err := s.fn(sc); err != nil {
+				a.recordError(s.name, err)
+			}
+		}()
+	}
+	go func() {
+		a.wg.Wait()
+		a.mu.Lock()
+		a.state = stateDone
+		a.mu.Unlock()
+		cancel()
+		close(a.done)
+	}()
+	return nil
+}
+
+func (a *Automaton) recordError(stage string, err error) {
+	if isStop(err) {
+		err = ErrStopped
+	} else {
+		err = fmt.Errorf("core: stage %q: %w", stage, err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Keep the first real failure; a real failure outranks ErrStopped.
+	switch {
+	case a.err == nil:
+		a.err = err
+	case errors.Is(a.err, ErrStopped) && !errors.Is(err, ErrStopped):
+		a.err = err
+	}
+	// A stage failure must bring the pipeline down rather than hang its
+	// consumers, and must not leave siblings blocked at a pause gate.
+	if !errors.Is(err, ErrStopped) {
+		if a.cancel != nil {
+			a.cancel()
+		}
+		a.gate.resume()
+	}
+}
+
+func isStop(err error) bool {
+	return errors.Is(err, ErrStopped) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Pause suspends progress: every stage blocks at its next Checkpoint.
+// Published snapshots remain readable while paused — the interruptibility
+// the model is named for. Pausing an idle or finished automaton is a no-op
+// that still takes effect if it is later started.
+func (a *Automaton) Pause() { a.gate.pause() }
+
+// Resume releases a Pause.
+func (a *Automaton) Resume() { a.gate.resume() }
+
+// Paused reports whether the pause gate is currently closed.
+func (a *Automaton) Paused() bool { return a.gate.paused() }
+
+// Stop interrupts execution and waits for every stage to exit. The output
+// buffers keep their latest snapshots. Stopping an already-finished
+// automaton is a no-op.
+func (a *Automaton) Stop() {
+	a.mu.Lock()
+	cancel := a.cancel
+	started := a.state != stateIdle
+	a.mu.Unlock()
+	if !started {
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	a.gate.resume() // a paused stage must be released to observe the stop
+	<-a.done
+}
+
+// Done returns a channel closed when every stage has exited.
+func (a *Automaton) Done() <-chan struct{} { return a.done }
+
+// Wait blocks until every stage has exited. It returns nil if the automaton
+// ran to its precise output, ErrStopped if it was interrupted, or the first
+// stage failure otherwise.
+func (a *Automaton) Wait() error {
+	<-a.done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Context is the per-stage execution context handed to stage loops.
+type Context struct {
+	ctx  context.Context
+	a    *Automaton
+	name string
+}
+
+// Name reports the stage's registered name.
+func (c *Context) Name() string { return c.name }
+
+// Context returns the cancellation context bounding this execution.
+func (c *Context) Context() context.Context { return c.ctx }
+
+// Checkpoint is the stage's cooperation point: it blocks while the
+// automaton is paused and returns ErrStopped once it has been stopped.
+// Stage loops should call it between units of work.
+func (c *Context) Checkpoint() error {
+	if c.ctx.Err() != nil {
+		return ErrStopped
+	}
+	if err := c.a.gate.wait(c.ctx); err != nil {
+		return ErrStopped
+	}
+	return nil
+}
+
+// gate implements pause/resume as a swap-on-pause closed channel.
+type gate struct {
+	mu sync.Mutex
+	ch chan struct{} // closed while running; open (blocking) while paused
+	on bool          // paused?
+}
+
+func newGate() *gate {
+	g := &gate{ch: make(chan struct{})}
+	close(g.ch)
+	return g
+}
+
+func (g *gate) pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.on {
+		g.on = true
+		g.ch = make(chan struct{})
+	}
+}
+
+func (g *gate) resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.on {
+		g.on = false
+		close(g.ch)
+	}
+}
+
+func (g *gate) paused() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.on
+}
+
+func (g *gate) wait(ctx context.Context) error {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err reports the automaton's terminal error without blocking: nil while
+// running or after a clean finish, ErrStopped after an interruption, or the
+// first stage failure.
+func (a *Automaton) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}

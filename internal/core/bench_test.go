@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// The model's overheads in isolation: publish cost, snapshot read cost,
+// and the per-update overhead of the diffusive runners (the quantity that
+// decides whether an application needs DiffusiveBatch).
+
+func BenchmarkBufferPublish(b *testing.B) {
+	buf := NewBuffer[int]("b", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := buf.Publish(i, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferPublishWithClone(b *testing.B) {
+	data := make([]int, 1024)
+	buf := NewBuffer("b", func(s []int) []int { return append([]int(nil), s...) })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := buf.Publish(data, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBufferLatest(b *testing.B) {
+	buf := NewBuffer[int]("b", nil)
+	if _, err := buf.Publish(1, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := buf.Latest(); !ok {
+			b.Fatal("no snapshot")
+		}
+	}
+}
+
+func benchDiffusive(b *testing.B, workers int, batch bool) {
+	b.Helper()
+	var sink atomic.Int64
+	const total = 1 << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := NewBuffer[int]("out", nil)
+		a := New()
+		stage := func(c *Context) error {
+			if batch {
+				return DiffusiveBatch(c, out, total,
+					func(worker, lo, hi int) error {
+						var local int64
+						for pos := lo; pos < hi; pos++ {
+							local += int64(pos)
+						}
+						sink.Add(local)
+						return nil
+					},
+					func(processed int) (int, error) { return processed, nil },
+					RoundConfig{Granularity: total / 8, Workers: workers}, true)
+			}
+			return DiffusiveWorkers(c, out, total,
+				func(worker, pos int) error { sink.Add(int64(pos)); return nil },
+				func(processed int) (int, error) { return processed, nil },
+				RoundConfig{Granularity: total / 8, Workers: workers})
+		}
+		if err := a.AddStage("d", stage); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(total)
+}
+
+func BenchmarkDiffusivePerUpdate(b *testing.B)      { benchDiffusive(b, 1, false) }
+func BenchmarkDiffusivePerUpdate4W(b *testing.B)    { benchDiffusive(b, 4, false) }
+func BenchmarkDiffusiveBatchPerUpdate(b *testing.B) { benchDiffusive(b, 1, true) }
+
+func BenchmarkWaitNewerHot(b *testing.B) {
+	buf := NewBuffer[int]("b", nil)
+	if _, err := buf.Publish(1, false); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := buf.WaitNewer(ctx, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the Anytime Automaton computation model of
+// San Miguel & Enright Jerger (ISCA 2016, §III): an approximate application
+// is decomposed into computation stages connected by single-writer output
+// buffers and executed as a parallel pipeline. Each stage publishes
+// intermediate outputs of increasing accuracy; the automaton guarantees the
+// precise output is eventually published, and it can be paused or stopped at
+// any moment while the output buffers still hold valid approximations.
+//
+// The package enforces the paper's three structural properties:
+//
+//   - Property 1 (purity): stage step functions see only their input
+//     snapshots and their own working output.
+//   - Property 2 (single writer): each stage owns exactly one Buffer.
+//   - Property 3 (atomic publish): buffers expose immutable versioned
+//     snapshots; a reader never observes a torn write.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Version numbers the successive snapshots published to a Buffer, starting
+// at 1. Versions are strictly increasing per buffer.
+type Version uint64
+
+// Snapshot is one immutable published output of a stage. Final marks the
+// precise output: the last version the stage will ever publish.
+type Snapshot[T any] struct {
+	Value   T
+	Version Version
+	Final   bool
+}
+
+// ErrFinalized is returned when a stage attempts to publish past its final
+// (precise) output.
+var ErrFinalized = errors.New("core: buffer already holds its final output")
+
+// Buffer is the versioned single-writer multi-reader output buffer of an
+// anytime computation stage. The owning stage publishes successive
+// approximations with Publish; any number of readers take consistent
+// snapshots with Latest or block for fresher ones with WaitNewer.
+//
+// If the stage keeps mutating a working value between publishes, it must
+// construct the Buffer with a clone function so each published snapshot is
+// an independent copy (Property 3). Stages that publish freshly built
+// values each time may pass nil.
+type Buffer[T any] struct {
+	name  string
+	clone func(T) T
+
+	mu       sync.Mutex
+	snap     Snapshot[T]
+	has      bool
+	changed  chan struct{}
+	observer func(Snapshot[T])
+}
+
+// NewBuffer returns an empty buffer. name labels the buffer in errors and
+// diagnostics. clone, if non-nil, deep-copies values at publish time.
+func NewBuffer[T any](name string, clone func(T) T) *Buffer[T] {
+	return &Buffer[T]{
+		name:    name,
+		clone:   clone,
+		changed: make(chan struct{}),
+	}
+}
+
+// Name reports the buffer's label.
+func (b *Buffer[T]) Name() string { return b.name }
+
+// OnPublish registers an observer invoked after every publish with the new
+// snapshot. At most one observer is supported; it is invoked from the
+// publishing stage's goroutine, in publish order, and must not block for
+// long (it delays the pipeline, exactly as a profiler attached to a real
+// automaton would). It must be registered before the automaton starts.
+func (b *Buffer[T]) OnPublish(fn func(Snapshot[T])) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observer = fn
+}
+
+// Publish atomically installs v as the next snapshot. final marks v as the
+// precise output; no further publishes are allowed after it. Publish
+// returns the installed snapshot.
+//
+// Only the owning stage may call Publish (Property 2); calls are therefore
+// sequential.
+func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
+	if b.clone != nil {
+		v = b.clone(v)
+	}
+	b.mu.Lock()
+	if b.has && b.snap.Final {
+		b.mu.Unlock()
+		return Snapshot[T]{}, fmt.Errorf("%w (buffer %q)", ErrFinalized, b.name)
+	}
+	b.snap = Snapshot[T]{Value: v, Version: b.snap.Version + 1, Final: final}
+	b.has = true
+	snap := b.snap
+	observer := b.observer
+	close(b.changed)
+	b.changed = make(chan struct{})
+	b.mu.Unlock()
+	if observer != nil {
+		observer(snap)
+	}
+	return snap, nil
+}
+
+// Latest returns the most recent snapshot, if any has been published.
+func (b *Buffer[T]) Latest() (Snapshot[T], bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.snap, b.has
+}
+
+// Final reports whether the buffer holds its precise output.
+func (b *Buffer[T]) Final() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.has && b.snap.Final
+}
+
+// WaitNewer blocks until the buffer holds a snapshot with version greater
+// than after, then returns it. Passing after == 0 returns the first
+// available snapshot. It returns ctx.Err() if the context is cancelled
+// first.
+func (b *Buffer[T]) WaitNewer(ctx context.Context, after Version) (Snapshot[T], error) {
+	for {
+		b.mu.Lock()
+		if b.has && b.snap.Version > after {
+			snap := b.snap
+			b.mu.Unlock()
+			return snap, nil
+		}
+		changed := b.changed
+		b.mu.Unlock()
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return Snapshot[T]{}, ctx.Err()
+		}
+	}
+}

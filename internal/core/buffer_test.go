@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufferPublishLatest(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	if _, ok := b.Latest(); ok {
+		t.Error("empty buffer reported a snapshot")
+	}
+	snap, err := b.Publish(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 || snap.Final || snap.Value != 7 {
+		t.Errorf("first snapshot = %+v", snap)
+	}
+	got, ok := b.Latest()
+	if !ok || got != snap {
+		t.Errorf("Latest = %+v, %v", got, ok)
+	}
+}
+
+func TestBufferVersionsIncrease(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	for i := 1; i <= 10; i++ {
+		snap, err := b.Publish(i, i == 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Version != Version(i) {
+			t.Errorf("version %d after %d publishes", snap.Version, i)
+		}
+	}
+	if !b.Final() {
+		t.Error("buffer not final after final publish")
+	}
+}
+
+func TestBufferRejectsPublishAfterFinal(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	if _, err := b.Publish(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(2, false); !errors.Is(err, ErrFinalized) {
+		t.Errorf("publish after final: %v", err)
+	}
+}
+
+func TestBufferCloneIsolation(t *testing.T) {
+	clone := func(s []int) []int { return append([]int(nil), s...) }
+	b := NewBuffer("b", clone)
+	work := []int{1, 2, 3}
+	if _, err := b.Publish(work, false); err != nil {
+		t.Fatal(err)
+	}
+	work[0] = 99 // writer keeps mutating its working copy
+	snap, _ := b.Latest()
+	if snap.Value[0] != 1 {
+		t.Error("published snapshot shares storage with the working value (Property 3 violated)")
+	}
+}
+
+func TestBufferWaitNewerReturnsImmediatelyWhenFresh(t *testing.T) {
+	b := NewBuffer[string]("b", nil)
+	if _, err := b.Publish("x", false); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.WaitNewer(context.Background(), 0)
+	if err != nil || snap.Value != "x" {
+		t.Errorf("WaitNewer = %+v, %v", snap, err)
+	}
+}
+
+func TestBufferWaitNewerBlocksUntilPublish(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	done := make(chan Snapshot[int])
+	go func() {
+		snap, err := b.WaitNewer(context.Background(), 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- snap
+	}()
+	select {
+	case <-done:
+		t.Fatal("WaitNewer returned before any publish")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := b.Publish(5, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case snap := <-done:
+		if snap.Value != 5 {
+			t.Errorf("got %+v", snap)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitNewer never woke up")
+	}
+}
+
+func TestBufferWaitNewerSkipsStale(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	var v3 Snapshot[int]
+	for i := 1; i <= 3; i++ {
+		snap, err := b.Publish(i, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v3 = snap
+	}
+	snap, err := b.WaitNewer(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != v3 {
+		t.Errorf("WaitNewer(1) = %+v, want latest %+v", snap, v3)
+	}
+}
+
+func TestBufferWaitNewerHonorsContext(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.WaitNewer(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("WaitNewer with cancelled ctx = %v", err)
+	}
+}
+
+func TestBufferObserverSeesEveryPublishInOrder(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	var got []Version
+	b.OnPublish(func(s Snapshot[int]) { got = append(got, s.Version) })
+	for i := 0; i < 5; i++ {
+		if _, err := b.Publish(i, i == 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("observer saw %d publishes", len(got))
+	}
+	for i, v := range got {
+		if v != Version(i+1) {
+			t.Errorf("observer order wrong: %v", got)
+		}
+	}
+}
+
+// TestBufferConcurrentReadersSeeMonotoneVersions hammers a buffer with one
+// writer and many readers; every reader must observe strictly increasing
+// versions and never a torn snapshot (value encodes the version).
+func TestBufferConcurrentReadersSeeMonotoneVersions(t *testing.T) {
+	b := NewBuffer[uint64]("b", nil)
+	const publishes = 2000
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion Version
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap, ok := b.Latest()
+				if !ok {
+					continue
+				}
+				if snap.Version < lastVersion {
+					t.Error("version went backwards")
+					return
+				}
+				if snap.Value != uint64(snap.Version)*3 {
+					t.Errorf("torn snapshot: version %d value %d", snap.Version, snap.Value)
+					return
+				}
+				lastVersion = snap.Version
+			}
+		}()
+	}
+	for i := 1; i <= publishes; i++ {
+		if _, err := b.Publish(uint64(i)*3, i == publishes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestBufferManyWaiters: all blocked waiters wake on a single publish.
+func TestBufferManyWaiters(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := b.WaitNewer(context.Background(), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = snap.Value
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := b.Publish(42, true); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("waiter %d got %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Contract-mode execution (paper §II-B). Anytime algorithms split into
+// interruptible algorithms — the automaton's native mode, stoppable at any
+// moment — and contract algorithms, which are given a time budget up front
+// and make scheduling decisions to meet it ("design-to-time" scheduling).
+// RunContract layers the contract discipline over an iterative stage: given
+// per-pass cost estimates and a deadline, it runs the most accurate pass
+// expected to fit, then keeps upgrading while budget remains.
+
+// ContractPass is one accuracy level available to a contract stage, in
+// increasing accuracy order; the last pass must be the precise computation.
+type ContractPass[T any] struct {
+	// Name labels the accuracy level.
+	Name string
+	// EstCost is the estimated execution time of this pass.
+	EstCost time.Duration
+	// Run executes the pass (a pure function of its captured inputs,
+	// Property 1).
+	Run func() (T, error)
+}
+
+// RunContract executes an iterative stage under a time contract: it
+// repeatedly picks the most accurate not-yet-run pass whose estimated cost
+// fits the remaining budget, runs it, and publishes the result. At least
+// the first (coarsest) pass always runs, even over budget, so a contract
+// stage still delivers an output. The published snapshot is marked final
+// only if the precise (last) pass ran.
+//
+// It returns the index of the best pass that ran. Estimates being
+// estimates, the wall clock can overrun the deadline by at most the
+// estimation error of the final chosen pass — the inherent weakness of
+// contract algorithms the paper contrasts with interruptibility.
+func RunContract[T any](c *Context, out *Buffer[T], passes []ContractPass[T], deadline time.Duration) (int, error) {
+	if len(passes) == 0 {
+		return -1, fmt.Errorf("core: contract stage %q has no passes", c.Name())
+	}
+	if deadline <= 0 {
+		return -1, fmt.Errorf("core: contract stage %q has nonpositive deadline %v", c.Name(), deadline)
+	}
+	for i, p := range passes {
+		if p.Run == nil {
+			return -1, fmt.Errorf("core: contract pass %d (%q) has nil Run", i, p.Name)
+		}
+		if p.EstCost < 0 {
+			return -1, fmt.Errorf("core: contract pass %d (%q) has negative estimate", i, p.Name)
+		}
+	}
+	start := time.Now()
+	ran := -1
+	for {
+		if err := c.Checkpoint(); err != nil {
+			return ran, err
+		}
+		remaining := deadline - time.Since(start)
+		// Most accurate unran pass that fits; the coarsest pass is always
+		// admissible if nothing has run yet.
+		pick := -1
+		for i := len(passes) - 1; i > ran; i-- {
+			if passes[i].EstCost <= remaining || (ran < 0 && i == 0) {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return ran, nil
+		}
+		v, err := passes[pick].Run()
+		if err != nil {
+			return ran, err
+		}
+		ran = pick
+		if _, err := out.Publish(v, ran == len(passes)-1); err != nil {
+			return ran, err
+		}
+		if ran == len(passes)-1 {
+			return ran, nil
+		}
+	}
+}

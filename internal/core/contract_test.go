@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// runContract executes RunContract inside an automaton and returns the
+// chosen pass index.
+func runContract(t *testing.T, out *Buffer[string], passes []ContractPass[string], deadline time.Duration) (int, error) {
+	t.Helper()
+	var ran int
+	var runErr error
+	a := New()
+	if err := a.AddStage("contract", func(c *Context) error {
+		ran, runErr = RunContract(c, out, passes, deadline)
+		return runErr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil && runErr == nil {
+		t.Fatal(err)
+	}
+	return ran, runErr
+}
+
+func pass(name string, est, actual time.Duration) ContractPass[string] {
+	return ContractPass[string]{
+		Name:    name,
+		EstCost: est,
+		Run: func() (string, error) {
+			time.Sleep(actual)
+			return name, nil
+		},
+	}
+}
+
+func TestContractValidation(t *testing.T) {
+	out := NewBuffer[string]("out", nil)
+	if _, err := runContract(t, out, nil, time.Second); err == nil {
+		t.Error("no passes accepted")
+	}
+	out = NewBuffer[string]("out", nil)
+	if _, err := runContract(t, out, []ContractPass[string]{pass("a", 1, 0)}, 0); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	out = NewBuffer[string]("out", nil)
+	if _, err := runContract(t, out, []ContractPass[string]{{Name: "nil"}}, time.Second); err == nil {
+		t.Error("nil Run accepted")
+	}
+	out = NewBuffer[string]("out", nil)
+	if _, err := runContract(t, out, []ContractPass[string]{{Name: "neg", EstCost: -1, Run: func() (string, error) { return "", nil }}}, time.Second); err == nil {
+		t.Error("negative estimate accepted")
+	}
+}
+
+// TestContractPicksMostAccurateFittingPass: with an ample budget, the
+// precise pass runs directly and is final.
+func TestContractAmpleBudgetGoesPrecise(t *testing.T) {
+	out := NewBuffer[string]("out", nil)
+	passes := []ContractPass[string]{
+		pass("coarse", time.Millisecond, 0),
+		pass("medium", 2*time.Millisecond, 0),
+		pass("precise", 3*time.Millisecond, 0),
+	}
+	ran, err := runContract(t, out, passes, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Errorf("ran pass %d, want 2 (precise)", ran)
+	}
+	snap, _ := out.Latest()
+	if snap.Value != "precise" || !snap.Final {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// Only one pass should have been needed.
+	if snap.Version != 1 {
+		t.Errorf("versions published: %d, want 1", snap.Version)
+	}
+}
+
+// TestContractTightBudgetPicksCoarse: with a budget below every estimate,
+// the coarsest pass still runs (a contract stage always delivers), and the
+// output is not final.
+func TestContractTightBudgetPicksCoarse(t *testing.T) {
+	out := NewBuffer[string]("out", nil)
+	passes := []ContractPass[string]{
+		pass("coarse", 50*time.Millisecond, 0),
+		pass("precise", time.Hour, 0),
+	}
+	ran, err := runContract(t, out, passes, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Errorf("ran pass %d, want 0", ran)
+	}
+	snap, _ := out.Latest()
+	if snap.Value != "coarse" || snap.Final {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+// TestContractUpgradesWithLeftoverBudget: if the chosen pass finishes well
+// under its estimate, the leftover budget buys an upgrade pass.
+func TestContractUpgradesWithLeftoverBudget(t *testing.T) {
+	out := NewBuffer[string]("out", nil)
+	passes := []ContractPass[string]{
+		pass("coarse", time.Millisecond, 0),
+		pass("medium", 5*time.Millisecond, time.Millisecond),
+		// precise estimated far beyond the deadline: never picked.
+		pass("precise", time.Hour, 0),
+	}
+	// Budget fits medium but not precise; medium runs fast, but precise's
+	// estimate still exceeds what remains.
+	ran, err := runContract(t, out, passes, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran pass %d, want 1 (medium)", ran)
+	}
+	snap, _ := out.Latest()
+	if snap.Final {
+		t.Error("non-precise contract output marked final")
+	}
+}
+
+func TestContractPassErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	out := NewBuffer[string]("out", nil)
+	passes := []ContractPass[string]{
+		{Name: "bad", EstCost: 0, Run: func() (string, error) { return "", boom }},
+	}
+	if _, err := runContract(t, out, passes, time.Second); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestContractNeverRunsLowerAccuracyAfterHigher: once a pass has run, only
+// strictly more accurate passes may follow.
+func TestContractNeverDowngrades(t *testing.T) {
+	out := NewBuffer[string]("out", nil)
+	var orderRan []string
+	mk := func(name string, est time.Duration) ContractPass[string] {
+		return ContractPass[string]{
+			Name:    name,
+			EstCost: est,
+			Run: func() (string, error) {
+				orderRan = append(orderRan, name)
+				return name, nil
+			},
+		}
+	}
+	passes := []ContractPass[string]{
+		mk("p0", time.Microsecond),
+		mk("p1", time.Microsecond),
+		mk("p2", time.Microsecond),
+	}
+	if _, err := runContract(t, out, passes, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Ample budget: p2 runs immediately; nothing else.
+	if len(orderRan) != 1 || orderRan[0] != "p2" {
+		t.Errorf("ran %v", orderRan)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Stopping control (paper §III-A): "The decision of stopping can either be
+// automated via dynamic accuracy metrics, user-specified or enforced by
+// time/energy constraints." This file provides the automated and
+// constraint-driven controllers; user-specified stopping is just calling
+// Automaton.Stop.
+
+// StopWhen watches buf and stops the automaton as soon as a published
+// snapshot satisfies accept — the whole-output dynamic accuracy control the
+// model enables (unlike per-segment metrics, accept sees the entire
+// application output). The returned channel delivers exactly one snapshot:
+// the first accepted one, or the final snapshot if the automaton reaches
+// its precise output (always acceptable, by the model's guarantee) or is
+// stopped by other means first.
+//
+// accept runs on the controller's goroutine; it must not call Stop or Wait
+// itself (StopWhen does that).
+func StopWhen[T any](a *Automaton, buf *Buffer[T], accept func(Snapshot[T]) bool) <-chan Snapshot[T] {
+	out := make(chan Snapshot[T], 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-a.Done()
+		cancel()
+	}()
+	go func() {
+		defer cancel()
+		var last Version
+		for {
+			snap, err := buf.WaitNewer(ctx, last)
+			if err != nil {
+				// Automaton ended (stopped or finished); deliver whatever
+				// the buffer holds.
+				if final, ok := buf.Latest(); ok {
+					out <- final
+				}
+				close(out)
+				return
+			}
+			last = snap.Version
+			if accept(snap) || snap.Final {
+				if !snap.Final {
+					a.Stop()
+				}
+				out <- snap
+				close(out)
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// StopAfter enforces a hard time budget: it stops the automaton once d has
+// elapsed unless it finishes first — the paper's "real-time environments
+// where absolute time/energy constraints need to be met". It returns a
+// cancel function that disarms the deadline.
+func StopAfter(a *Automaton, d time.Duration) (cancel func()) {
+	timer := time.NewTimer(d)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-timer.C:
+			a.Stop()
+		case <-a.Done():
+		case <-done:
+		}
+	}()
+	return func() {
+		timer.Stop()
+		close(done)
+	}
+}

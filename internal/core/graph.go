@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+)
+
+// AnyBuffer is the type-erased view of a Buffer[T], used for graph
+// declarations.
+type AnyBuffer interface {
+	Name() string
+}
+
+// GraphBuilder declares an automaton as an explicit dataflow graph — the
+// directed acyclic graph of Figure 1 — and validates the model's structural
+// properties before construction:
+//
+//   - Property 2: every buffer has exactly one writing stage.
+//   - The read/write relation is acyclic (synchronous feedback via Streams
+//     is intentionally outside the graph, as in the paper's model where
+//     stages form a DAG).
+//   - Every read buffer is produced by some declared stage.
+//
+// Stages still run their own loops; the builder constrains wiring, not
+// behavior.
+type GraphBuilder struct {
+	stages []graphStage
+	errs   []error
+}
+
+type graphStage struct {
+	name   string
+	fn     func(*Context) error
+	writes string
+	reads  []string
+}
+
+// NewGraph returns an empty graph builder.
+func NewGraph() *GraphBuilder { return &GraphBuilder{} }
+
+// Stage declares a stage that writes the given buffer and reads the listed
+// ones. Pass writes == nil for a pure sink (a stage with side effects only,
+// e.g. a display). Errors are accumulated and reported by Build.
+func (g *GraphBuilder) Stage(name string, fn func(*Context) error, writes AnyBuffer, reads ...AnyBuffer) *GraphBuilder {
+	if fn == nil {
+		g.errs = append(g.errs, fmt.Errorf("core: graph stage %q has nil function", name))
+		return g
+	}
+	s := graphStage{name: name, fn: fn}
+	if writes != nil {
+		s.writes = writes.Name()
+	}
+	for _, r := range reads {
+		if r == nil {
+			g.errs = append(g.errs, fmt.Errorf("core: graph stage %q reads a nil buffer", name))
+			continue
+		}
+		s.reads = append(s.reads, r.Name())
+	}
+	g.stages = append(g.stages, s)
+	return g
+}
+
+// Build validates the declared graph and assembles the automaton.
+func (g *GraphBuilder) Build() (*Automaton, error) {
+	if len(g.errs) > 0 {
+		return nil, g.errs[0]
+	}
+	if len(g.stages) == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	writer := map[string]string{} // buffer -> stage
+	for _, s := range g.stages {
+		if s.writes == "" {
+			continue
+		}
+		if prev, ok := writer[s.writes]; ok {
+			return nil, fmt.Errorf("core: buffer %q written by both %q and %q (Property 2)", s.writes, prev, s.name)
+		}
+		writer[s.writes] = s.name
+	}
+	for _, s := range g.stages {
+		for _, r := range s.reads {
+			if _, ok := writer[r]; !ok {
+				return nil, fmt.Errorf("core: stage %q reads buffer %q, which no stage writes", s.name, r)
+			}
+			if r == s.writes {
+				return nil, fmt.Errorf("core: stage %q reads its own output buffer %q", s.name, r)
+			}
+		}
+	}
+	if cycle := findCycle(g.stages, writer); cycle != "" {
+		return nil, fmt.Errorf("core: dataflow cycle through %s (the model requires a DAG)", cycle)
+	}
+	a := New()
+	for _, s := range g.stages {
+		if err := a.AddStage(s.name, s.fn); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// findCycle runs a three-color DFS over the stage graph (edges: stage that
+// writes buffer b -> stages that read b) and returns a description of a
+// cycle, or "".
+func findCycle(stages []graphStage, writer map[string]string) string {
+	// Map stage name -> successor stage names.
+	succ := map[string][]string{}
+	for _, s := range stages {
+		for _, r := range s.reads {
+			w := writer[r]
+			succ[w] = append(succ[w], s.name)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var cycle string
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		for _, m := range succ[n] {
+			switch color[m] {
+			case gray:
+				cycle = fmt.Sprintf("%q -> %q", n, m)
+				return true
+			case white:
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, s := range stages {
+		if color[s.name] == white {
+			if dfs(s.name) {
+				return cycle
+			}
+		}
+	}
+	return ""
+}

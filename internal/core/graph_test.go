@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func noopStage(c *Context) error { return nil }
+
+func TestGraphBuildsValidDAG(t *testing.T) {
+	f := NewBuffer[int]("F", nil)
+	gBuf := NewBuffer[int]("G", nil)
+	h := NewBuffer[int]("H", nil)
+	iBuf := NewBuffer[int]("I", nil)
+	a, err := NewGraph().
+		Stage("f", func(c *Context) error { _, err := f.Publish(1, true); return err }, f).
+		Stage("g", func(c *Context) error {
+			return AsyncConsume(c, f, func(s Snapshot[int]) error {
+				_, err := gBuf.Publish(s.Value+1, s.Final)
+				return err
+			})
+		}, gBuf, f).
+		Stage("h", func(c *Context) error {
+			return AsyncConsume(c, f, func(s Snapshot[int]) error {
+				_, err := h.Publish(s.Value+2, s.Final)
+				return err
+			})
+		}, h, f).
+		Stage("i", func(c *Context) error {
+			return AsyncConsume(c, gBuf, func(s Snapshot[int]) error {
+				_, err := iBuf.Publish(s.Value*10, s.Final)
+				return err
+			})
+		}, iBuf, gBuf, h).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := iBuf.Latest()
+	if snap.Value != 20 || !snap.Final {
+		t.Errorf("graph output = %+v", snap)
+	}
+}
+
+func TestGraphRejectsDoubleWriter(t *testing.T) {
+	b := NewBuffer[int]("B", nil)
+	_, err := NewGraph().
+		Stage("w1", noopStage, b).
+		Stage("w2", noopStage, b).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "Property 2") {
+		t.Errorf("double writer: %v", err)
+	}
+}
+
+func TestGraphRejectsUnproducedRead(t *testing.T) {
+	b := NewBuffer[int]("B", nil)
+	orphan := NewBuffer[int]("orphan", nil)
+	_, err := NewGraph().
+		Stage("w", noopStage, b).
+		Stage("r", noopStage, nil, orphan).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "no stage writes") {
+		t.Errorf("orphan read: %v", err)
+	}
+}
+
+func TestGraphRejectsSelfRead(t *testing.T) {
+	b := NewBuffer[int]("B", nil)
+	_, err := NewGraph().Stage("w", noopStage, b, b).Build()
+	if err == nil || !strings.Contains(err.Error(), "own output") {
+		t.Errorf("self read: %v", err)
+	}
+}
+
+func TestGraphRejectsCycle(t *testing.T) {
+	x := NewBuffer[int]("X", nil)
+	y := NewBuffer[int]("Y", nil)
+	_, err := NewGraph().
+		Stage("a", noopStage, x, y).
+		Stage("b", noopStage, y, x).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle: %v", err)
+	}
+}
+
+func TestGraphRejectsNilStageAndNilRead(t *testing.T) {
+	b := NewBuffer[int]("B", nil)
+	if _, err := NewGraph().Stage("n", nil, b).Build(); err == nil {
+		t.Error("nil stage accepted")
+	}
+	if _, err := NewGraph().Stage("r", noopStage, b, nil).Build(); err == nil {
+		t.Error("nil read accepted")
+	}
+	if _, err := NewGraph().Build(); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestGraphAllowsPureSink(t *testing.T) {
+	b := NewBuffer[int]("B", nil)
+	a, err := NewGraph().
+		Stage("w", func(c *Context) error { _, err := b.Publish(1, true); return err }, b).
+		Stage("sink", func(c *Context) error {
+			return AsyncConsume(c, b, func(Snapshot[int]) error { return nil })
+		}, nil, b).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

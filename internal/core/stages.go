@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file provides the three stage-loop shapes of the paper:
+//
+//   - Iterative (§III-B1): re-execute the computation at increasing
+//     accuracy; each pass overwrites the previous output; the last pass is
+//     the precise function.
+//   - Diffusive (§III-B2): apply permuted updates to a working output;
+//     every update contributes to the final result, so no work is redundant.
+//   - AsyncConsume (§III-C1): a child stage that recomputes on whichever
+//     parent snapshot is current, always eventually running on the final
+//     one.
+//
+// The synchronous pipeline's update stream (§III-C2) lives in stream.go.
+
+// Iterative runs the intermediate computations f_1 … f_n in order,
+// publishing each result to out; the final pass is published as the precise
+// output. Each pass must be a pure function of its captured inputs
+// (Property 1).
+func Iterative[T any](c *Context, out *Buffer[T], passes []func() (T, error)) error {
+	if len(passes) == 0 {
+		return fmt.Errorf("core: iterative stage %q has no passes", c.Name())
+	}
+	for i, pass := range passes {
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		v, err := pass()
+		if err != nil {
+			return err
+		}
+		if _, err := out.Publish(v, i == len(passes)-1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoundConfig tunes a diffusive stage's execution.
+type RoundConfig struct {
+	// Granularity is the number of updates applied between successive
+	// publishes. It controls how early and how often approximate outputs
+	// become visible. Zero selects total/32 (at least 1).
+	Granularity int
+	// Workers is the number of goroutines applying updates within a round
+	// (the multi-threaded sampling of §IV-C1). Zero selects 1. When
+	// Workers > 1, apply must be safe for concurrent calls with distinct
+	// positions.
+	Workers int
+}
+
+func (cfg RoundConfig) withDefaults(total int) (RoundConfig, error) {
+	if cfg.Granularity < 0 || cfg.Workers < 0 {
+		return cfg, fmt.Errorf("core: negative round config %+v", cfg)
+	}
+	if cfg.Granularity == 0 {
+		cfg.Granularity = total / 32
+		if cfg.Granularity < 1 {
+			cfg.Granularity = 1
+		}
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	return cfg, nil
+}
+
+// Diffusive executes a diffusive anytime stage: total update steps applied
+// in rounds, publishing an approximate snapshot after every round and the
+// precise output after the last.
+//
+// apply(pos) performs update step pos (0 <= pos < total); positions are
+// executed exactly once, in rounds of Granularity consecutive positions
+// striped across Workers goroutines. snapshot(processed) is called with no
+// apply running and returns the value to publish after the first
+// `processed` updates — typically a clone, possibly weighted/normalized for
+// non-idempotent reductions (§III-B2).
+func Diffusive[T any](c *Context, out *Buffer[T], total int, apply func(pos int) error, snapshot func(processed int) (T, error), cfg RoundConfig) error {
+	return DiffusiveWorkers(c, out, total,
+		func(worker, pos int) error { return apply(pos) },
+		snapshot, cfg)
+}
+
+// DiffusiveWorkers is Diffusive with the executing worker's index exposed to
+// apply. Worker indices are in [0, Workers); a given worker runs its updates
+// sequentially, so apply may accumulate into worker-private state — the
+// thread-privatized partials the paper's multi-threaded reductions use
+// (§IV-A2, kmeans) — which snapshot then merges during round quiescence.
+func DiffusiveWorkers[T any](c *Context, out *Buffer[T], total int, apply func(worker, pos int) error, snapshot func(processed int) (T, error), cfg RoundConfig) error {
+	return DiffusivePass(c, out, total, apply, snapshot, cfg, true)
+}
+
+// DiffusivePass is DiffusiveWorkers with control over whether the pass's
+// last snapshot is published as the buffer's final output. An anytime child
+// stage in an asynchronous pipeline runs one full diffusive pass per parent
+// snapshot it consumes (§III-C1, g(F_i) with g itself anytime); only the
+// pass over the parent's final snapshot may mark the child's buffer final,
+// so intermediate passes run with markFinal = false.
+func DiffusivePass[T any](c *Context, out *Buffer[T], total int, apply func(worker, pos int) error, snapshot func(processed int) (T, error), cfg RoundConfig, markFinal bool) error {
+	if total < 0 {
+		return fmt.Errorf("core: diffusive stage %q has negative total %d", c.Name(), total)
+	}
+	cfg, err := cfg.withDefaults(total)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		v, err := snapshot(0)
+		if err != nil {
+			return err
+		}
+		_, err = out.Publish(v, markFinal)
+		return err
+	}
+	for done := 0; done < total; {
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		n := cfg.Granularity
+		if done+n > total {
+			n = total - done
+		}
+		if err := applyRound(done, n, cfg.Workers, apply); err != nil {
+			return err
+		}
+		done += n
+		v, err := snapshot(done)
+		if err != nil {
+			return err
+		}
+		if _, err := out.Publish(v, markFinal && done == total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffusiveBatch is DiffusivePass for stages whose per-update work is tiny
+// (a table lookup, a histogram increment): apply receives a contiguous
+// range [lo, hi) of update positions and iterates it directly, avoiding a
+// function call per update. Each round is split into one contiguous chunk
+// per worker; as with DiffusiveWorkers, a given worker's chunks execute
+// sequentially, so worker-private accumulators are safe.
+func DiffusiveBatch[T any](c *Context, out *Buffer[T], total int, apply func(worker, lo, hi int) error, snapshot func(processed int) (T, error), cfg RoundConfig, markFinal bool) error {
+	if total < 0 {
+		return fmt.Errorf("core: diffusive stage %q has negative total %d", c.Name(), total)
+	}
+	cfg, err := cfg.withDefaults(total)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		v, err := snapshot(0)
+		if err != nil {
+			return err
+		}
+		_, err = out.Publish(v, markFinal)
+		return err
+	}
+	for done := 0; done < total; {
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		n := cfg.Granularity
+		if done+n > total {
+			n = total - done
+		}
+		if err := applyRoundBatch(done, n, cfg.Workers, apply); err != nil {
+			return err
+		}
+		done += n
+		v, err := snapshot(done)
+		if err != nil {
+			return err
+		}
+		if _, err := out.Publish(v, markFinal && done == total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRoundBatch splits [start, start+n) into contiguous per-worker chunks.
+func applyRoundBatch(start, n, workers int, apply func(worker, lo, hi int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return apply(0, start, start+n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := start + n*w/workers
+			hi := start + n*(w+1)/workers
+			if lo < hi {
+				errs[w] = apply(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRound executes apply for positions [start, start+n) using the given
+// number of workers, striping positions cyclically.
+func applyRound(start, n, workers int, apply func(worker, pos int) error) error {
+	if workers == 1 || n == 1 {
+		for k := 0; k < n; k++ {
+			if err := apply(0, start+k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < n; k += workers {
+				if err := apply(w, start+k); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsyncConsume implements the child side of an asynchronous pipeline edge:
+// it invokes fn on successive snapshots of in, skipping stale intermediates
+// (the child "processes whichever output happens to be in the buffer"), and
+// always runs fn at least once on the parent's final snapshot before
+// returning. fn itself typically publishes — possibly several anytime
+// versions — to the child's own buffer, marking its output final only when
+// snap.Final is set.
+func AsyncConsume[I any](c *Context, in *Buffer[I], fn func(snap Snapshot[I]) error) error {
+	var last Version
+	for {
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		snap, err := in.WaitNewer(c.Context(), last)
+		if err != nil {
+			return ErrStopped
+		}
+		last = snap.Version
+		if err := fn(snap); err != nil {
+			return err
+		}
+		if snap.Final {
+			return nil
+		}
+	}
+}

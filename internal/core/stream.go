@@ -1,0 +1,92 @@
+package core
+
+import "fmt"
+
+// Synchronous pipeline support (paper §III-C2). When a parent stage f is
+// diffusive and its child g is distributive over f's updates, passing the
+// whole output F down the pipeline makes g redo work it has already done.
+// Instead, the parent exposes its update stream X_1 … X_n and the child
+// folds g(X_i) into an accumulator. The stream's bounded buffer provides
+// the required synchronization: "f must not overwrite X_i with X_{i+1}
+// before g(X_i) begins executing".
+
+// Update is one diffusive update X_i flowing through a synchronous edge.
+type Update[X any] struct {
+	// Seq numbers updates from 1 in production order.
+	Seq int
+	// Data is the update payload. Ownership transfers to the consumer.
+	Data X
+	// Last marks the final update; after folding it the consumer holds the
+	// precise result.
+	Last bool
+}
+
+// Stream is the synchronous edge between a diffusive producer and a
+// distributive consumer. It carries every update exactly once, in order,
+// with backpressure once the buffer fills.
+type Stream[X any] struct {
+	ch chan Update[X]
+}
+
+// NewStream returns a stream whose buffer holds up to capacity in-flight
+// updates (capacity 0 gives fully synchronous rendezvous).
+func NewStream[X any](capacity int) (*Stream[X], error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("core: negative stream capacity %d", capacity)
+	}
+	return &Stream[X]{ch: make(chan Update[X], capacity)}, nil
+}
+
+// Send delivers one update, blocking while the buffer is full. It returns
+// ErrStopped if the automaton stops first.
+func (s *Stream[X]) Send(c *Context, u Update[X]) error {
+	select {
+	case s.ch <- u:
+		return nil
+	case <-c.Context().Done():
+		return ErrStopped
+	}
+}
+
+// Recv returns the next update. ok is false if the producer closed the
+// stream without a Last update. It returns ErrStopped if the automaton
+// stops first.
+func (s *Stream[X]) Recv(c *Context) (u Update[X], ok bool, err error) {
+	select {
+	case u, ok = <-s.ch:
+		return u, ok, nil
+	case <-c.Context().Done():
+		return u, false, ErrStopped
+	}
+}
+
+// Close marks the producing side done. Sending after Close panics, as with
+// any channel; producers normally mark the final update Last instead and
+// Close defensively afterwards.
+func (s *Stream[X]) Close() { close(s.ch) }
+
+// SyncConsume implements the consumer side of a synchronous edge: it folds
+// every update exactly once, in order, until the Last update (or stream
+// close) and then returns. fold typically publishes the running accumulator
+// to the consumer's own buffer after each update, marking it final on the
+// Last one.
+func SyncConsume[X any](c *Context, in *Stream[X], fold func(u Update[X]) error) error {
+	for {
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+		u, ok, err := in.Recv(c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fold(u); err != nil {
+			return err
+		}
+		if u.Last {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream[int](-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewStream[int](0); err != nil {
+		t.Errorf("rendezvous stream rejected: %v", err)
+	}
+}
+
+// TestSyncPipelineCapitalize reproduces paper Figure 8: f generates a
+// string letter by letter (concatenation is the diffusive operator) and the
+// distributive g capitalizes only each newly added letter, never redoing
+// completed work.
+func TestSyncPipelineCapitalize(t *testing.T) {
+	const word = "hello, anytime world"
+	stream, err := NewStream[byte](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := NewBuffer[string]("G", nil)
+	var workDone int // letters g processed; distributivity => exactly len(word)
+	a := New()
+	if err := a.AddStage("f", func(c *Context) error {
+		for i := 0; i < len(word); i++ {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			if err := stream.Send(c, Update[byte]{Seq: i + 1, Data: word[i], Last: i == len(word)-1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddStage("g", func(c *Context) error {
+		var acc strings.Builder
+		return SyncConsume(c, stream, func(u Update[byte]) error {
+			workDone++
+			acc.WriteByte(byte(strings.ToUpper(string(u.Data))[0]))
+			_, err := out.Publish(acc.String(), u.Last)
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := out.Latest()
+	if !ok || !snap.Final || snap.Value != strings.ToUpper(word) {
+		t.Errorf("output = %+v", snap)
+	}
+	if workDone != len(word) {
+		t.Errorf("distributive consumer did %d units of work, want %d", workDone, len(word))
+	}
+}
+
+// TestSyncConsumeProcessesEveryUpdateExactlyOnce, in order, for arbitrary
+// update counts and stream capacities — the exactly-once guarantee the
+// synchronous pipeline's correctness rests on.
+func TestSyncConsumeProcessesEveryUpdateExactlyOnce(t *testing.T) {
+	f := func(rawN uint8, rawCap uint8) bool {
+		n := int(rawN)%200 + 1
+		capacity := int(rawCap) % 16
+		stream, err := NewStream[int](capacity)
+		if err != nil {
+			return false
+		}
+		var got []int
+		a := New()
+		if err := a.AddStage("f", func(c *Context) error {
+			for i := 1; i <= n; i++ {
+				if err := stream.Send(c, Update[int]{Seq: i, Data: i * i, Last: i == n}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		if err := a.AddStage("g", func(c *Context) error {
+			return SyncConsume(c, stream, func(u Update[int]) error {
+				got = append(got, u.Data)
+				return nil
+			})
+		}); err != nil {
+			return false
+		}
+		if err := a.Start(context.Background()); err != nil {
+			return false
+		}
+		if err := a.Wait(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != (i+1)*(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSyncBackpressure: with a zero-capacity stream the producer cannot run
+// ahead of the consumer — the synchronization the paper requires so f does
+// not overwrite X_i before g(X_i) starts.
+func TestSyncBackpressure(t *testing.T) {
+	stream, err := NewStream[int](0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var produced, consumed atomic.Int64
+	a := New()
+	if err := a.AddStage("f", func(c *Context) error {
+		for i := 1; i <= 10; i++ {
+			if err := stream.Send(c, Update[int]{Seq: i, Data: i, Last: i == 10}); err != nil {
+				return err
+			}
+			produced.Store(int64(i))
+			// With rendezvous semantics the consumer has begun receiving
+			// update i before Send returns, so produced can lead consumed
+			// by at most one fully-consumed update.
+			if p, c := produced.Load(), consumed.Load(); p > c+1 {
+				t.Errorf("producer ran ahead: produced %d consumed %d", p, c)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddStage("g", func(c *Context) error {
+		return SyncConsume(c, stream, func(u Update[int]) error {
+			time.Sleep(time.Millisecond)
+			consumed.Store(int64(u.Seq))
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncConsumeStopsOnClose(t *testing.T) {
+	stream, err := NewStream[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New()
+	if err := a.AddStage("f", func(c *Context) error {
+		if err := stream.Send(c, Update[int]{Seq: 1, Data: 1}); err != nil {
+			return err
+		}
+		stream.Close()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := a.AddStage("g", func(c *Context) error {
+		return SyncConsume(c, stream, func(u Update[int]) error {
+			got = u.Data
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestStreamSendRecvHonorStop(t *testing.T) {
+	stream, err := NewStream[int](0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New()
+	if err := a.AddStage("sender", func(c *Context) error {
+		// Nobody receives; Send must unblock on stop.
+		return stream.Send(c, Update[int]{Seq: 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	a.Stop()
+	if err := a.Wait(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Wait = %v", err)
+	}
+
+	b := New()
+	stream2, _ := NewStream[int](0)
+	if err := b.AddStage("receiver", func(c *Context) error {
+		_, _, err := stream2.Recv(c)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Stop()
+	if err := b.Wait(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Wait = %v", err)
+	}
+}
+
+func TestSyncConsumeFoldErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	stream, err := NewStream[int](1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New()
+	if err := a.AddStage("f", func(c *Context) error {
+		return stream.Send(c, Update[int]{Seq: 1, Data: 1, Last: true})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddStage("g", func(c *Context) error {
+		return SyncConsume(c, stream, func(Update[int]) error { return boom })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); !errors.Is(err, boom) {
+		t.Errorf("Wait = %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import "context"
+
+// Subscribe returns a channel delivering the buffer's snapshots to an
+// external consumer with the model's latest-wins semantics: if the consumer
+// falls behind, stale intermediate versions are skipped, exactly as an
+// asynchronous child stage would skip them. The channel closes after the
+// final snapshot has been delivered or when ctx is cancelled.
+//
+// Unlike OnPublish (a single synchronous observer on the publishing
+// goroutine), any number of subscribers may attach at any time, and a slow
+// subscriber never delays the pipeline.
+func (b *Buffer[T]) Subscribe(ctx context.Context) <-chan Snapshot[T] {
+	out := make(chan Snapshot[T], 1)
+	go func() {
+		defer close(out)
+		var last Version
+		for {
+			snap, err := b.WaitNewer(ctx, last)
+			if err != nil {
+				return
+			}
+			last = snap.Version
+			// Latest-wins delivery: displace an undelivered stale snapshot
+			// rather than blocking behind it. With a single sender and a
+			// one-slot buffer, the retry send cannot block.
+			select {
+			case out <- snap:
+			case <-ctx.Done():
+				return
+			default:
+				select {
+				case <-out:
+				default:
+				}
+				out <- snap
+			}
+			if snap.Final {
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,55 @@
+package fixpoint
+
+import "testing"
+
+func benchVectors(n int) ([]int32, []int32) {
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(int16(i * 31))
+		b[i] = int32(int16(i*i*17 + 3))
+	}
+	return a, b
+}
+
+func BenchmarkDot(b *testing.B) {
+	x, y := benchVectors(1 << 12)
+	b.SetBytes(1 << 12 * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := Dot(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitSerialDot16(b *testing.B) {
+	x, y := benchVectors(1 << 12)
+	for i := 0; i < b.N; i++ {
+		if _, err := BitSerialDot(x, y, 16, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	m, _ := NewMatrix(64, 64)
+	c, _ := NewMatrix(64, 64)
+	for i := range m.Data {
+		m.Data[i] = int32(int8(i))
+		c.Data[i] = int32(int8(i * 7))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(m, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruncateMantissa(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += TruncateMantissa(float64(i)*1.7, 12)
+	}
+	_ = sink
+}

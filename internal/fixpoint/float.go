@@ -1,0 +1,82 @@
+package fixpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reduced floating-point precision (paper §III-B1: "if applying reduced
+// floating-point precision, f_1 computes f with the lowest precision while
+// f_n computes with the highest"). Precision is reduced by truncating
+// explicit mantissa bits, the standard model for variable-precision FP
+// units; an iterative anytime stage sweeps a ladder of mantissa widths
+// ending at full (53-bit significand) precision.
+
+// FullMantissaBits is the number of explicit mantissa bits of a float64.
+const FullMantissaBits = 52
+
+// TruncateMantissa returns f with all but the top `bits` explicit mantissa
+// bits cleared (round toward zero). bits >= FullMantissaBits returns f
+// unchanged; bits == 0 keeps only the implicit leading one (a signed power
+// of two). NaN and infinities pass through unchanged; the sign and exponent
+// are always preserved, so the relative truncation error is below
+// 2^-bits.
+func TruncateMantissa(f float64, bits uint) float64 {
+	if bits >= FullMantissaBits || math.IsNaN(f) || math.IsInf(f, 0) {
+		return f
+	}
+	u := math.Float64bits(f)
+	mask := ^uint64(0) << (FullMantissaBits - bits)
+	const mantissaMask = 1<<FullMantissaBits - 1
+	return math.Float64frombits(u&^mantissaMask | u&mantissaMask&mask)
+}
+
+// MantissaLadder returns an iterative precision schedule: `steps` mantissa
+// widths increasing geometrically from `start` and ending at full
+// precision, for use as the accuracy levels of an iterative stage.
+func MantissaLadder(start uint, steps int) ([]uint, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("fixpoint: ladder needs at least one step")
+	}
+	if start > FullMantissaBits {
+		return nil, fmt.Errorf("fixpoint: start precision %d exceeds %d mantissa bits", start, FullMantissaBits)
+	}
+	out := make([]uint, steps)
+	bits := start
+	for i := 0; i < steps-1; i++ {
+		out[i] = bits
+		bits *= 2
+		if bits > FullMantissaBits || bits == 0 {
+			bits = FullMantissaBits
+		}
+	}
+	out[steps-1] = FullMantissaBits
+	// Deduplicate a saturated tail while preserving the final full-precision
+	// entry.
+	dedup := out[:1]
+	for _, b := range out[1:] {
+		if b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	if dedup[len(dedup)-1] != FullMantissaBits {
+		dedup = append(dedup, FullMantissaBits)
+	}
+	return dedup, nil
+}
+
+// DotFloat computes the float64 dot product of a and b at the given
+// mantissa precision: both operands and every partial product are truncated
+// to `bits` mantissa bits, modelling a reduced-precision FP unit. At
+// bits >= FullMantissaBits it is the exact (double-precision) dot product.
+func DotFloat(a, b []float64, bits uint) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("fixpoint: dot length mismatch %d vs %d", len(a), len(b))
+	}
+	var acc float64
+	for i := range a {
+		p := TruncateMantissa(TruncateMantissa(a[i], bits)*TruncateMantissa(b[i], bits), bits)
+		acc = TruncateMantissa(acc+p, bits)
+	}
+	return acc, nil
+}

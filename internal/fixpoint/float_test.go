@@ -1,0 +1,167 @@
+package fixpoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTruncateMantissaIdentityAtFullPrecision(t *testing.T) {
+	for _, f := range []float64{0, 1, -1, math.Pi, 1e-300, -1e300} {
+		if got := TruncateMantissa(f, FullMantissaBits); got != f {
+			t.Errorf("TruncateMantissa(%v, 52) = %v", f, got)
+		}
+		if got := TruncateMantissa(f, 100); got != f {
+			t.Errorf("TruncateMantissa(%v, 100) = %v", f, got)
+		}
+	}
+}
+
+func TestTruncateMantissaZeroBitsIsPowerOfTwo(t *testing.T) {
+	got := TruncateMantissa(13.7, 0)
+	if got != 8 {
+		t.Errorf("TruncateMantissa(13.7, 0) = %v, want 8", got)
+	}
+	if got := TruncateMantissa(-13.7, 0); got != -8 {
+		t.Errorf("TruncateMantissa(-13.7, 0) = %v, want -8", got)
+	}
+}
+
+func TestTruncateMantissaKnown(t *testing.T) {
+	// 1.75 = 1.11b; with one mantissa bit only 1.1b = 1.5 remains.
+	if got := TruncateMantissa(1.75, 1); got != 1.5 {
+		t.Errorf("TruncateMantissa(1.75, 1) = %v", got)
+	}
+	if got := TruncateMantissa(1.75, 2); got != 1.75 {
+		t.Errorf("TruncateMantissa(1.75, 2) = %v", got)
+	}
+}
+
+func TestTruncateMantissaSpecials(t *testing.T) {
+	if !math.IsNaN(TruncateMantissa(math.NaN(), 4)) {
+		t.Error("NaN not preserved")
+	}
+	if !math.IsInf(TruncateMantissa(math.Inf(1), 4), 1) {
+		t.Error("+Inf not preserved")
+	}
+	if !math.IsInf(TruncateMantissa(math.Inf(-1), 4), -1) {
+		t.Error("-Inf not preserved")
+	}
+	if TruncateMantissa(0, 4) != 0 {
+		t.Error("zero not preserved")
+	}
+}
+
+// TestTruncateMantissaRelativeErrorBound: relative truncation error is
+// below 2^-bits for normal values, and error shrinks (weakly) as precision
+// grows — the property that makes a mantissa ladder an anytime schedule.
+func TestTruncateMantissaRelativeErrorBound(t *testing.T) {
+	f := func(raw int64, rawBits uint8) bool {
+		v := float64(raw) / 257.0
+		if v == 0 {
+			return true
+		}
+		bits := uint(rawBits) % 53
+		got := TruncateMantissa(v, bits)
+		relErr := math.Abs(got-v) / math.Abs(v)
+		if relErr >= math.Pow(2, -float64(bits)) {
+			return false
+		}
+		// Magnitude never increases, sign never changes (truncation
+		// toward zero).
+		if math.Abs(got) > math.Abs(v) || got*v < 0 {
+			return false
+		}
+		finer := TruncateMantissa(v, bits+8)
+		return math.Abs(finer-v) <= math.Abs(got-v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMantissaLadder(t *testing.T) {
+	ladder, err := MantissaLadder(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ladder, []uint{4, 8, 16, 52}) {
+		t.Errorf("ladder = %v", ladder)
+	}
+	// Increasing precision, final entry full.
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Errorf("ladder not increasing: %v", ladder)
+		}
+	}
+	// A single step degenerates to the precise pass alone.
+	one, err := MantissaLadder(8, 1)
+	if err != nil || !reflect.DeepEqual(one, []uint{FullMantissaBits}) {
+		t.Errorf("single-step ladder = %v, %v", one, err)
+	}
+	if _, err := MantissaLadder(8, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := MantissaLadder(60, 2); err == nil {
+		t.Error("start beyond mantissa accepted")
+	}
+	long, err := MantissaLadder(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long[len(long)-1] != FullMantissaBits {
+		t.Errorf("long ladder does not end at full precision: %v", long)
+	}
+}
+
+func TestDotFloatExactAtFullPrecision(t *testing.T) {
+	a := []float64{1.5, -2.25, 3.125}
+	b := []float64{4.0, 0.5, -8.0}
+	got, err := DotFloat(a, b, FullMantissaBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.5*4.0 + (-2.25)*0.5 + 3.125*(-8.0)
+	if got != want {
+		t.Errorf("DotFloat = %v, want %v", got, want)
+	}
+	if _, err := DotFloat(a, b[:2], 52); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestDotFloatErrorShrinksWithPrecision: an iterative FP-precision ladder
+// must produce decreasing error, reaching exactness at full precision.
+func TestDotFloatErrorShrinksWithPrecision(t *testing.T) {
+	const n = 256
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(float64(i)) * 100
+		b[i] = math.Cos(float64(i)*0.7) * 3
+	}
+	exact, err := DotFloat(a, b, FullMantissaBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := MantissaLadder(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for _, bits := range ladder {
+		got, err := DotFloat(a, b, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(got - exact)
+		if e > prevErr*1.5 { // allow mild non-monotonicity from rounding interplay
+			t.Errorf("error grew at %d bits: %v after %v", bits, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr != 0 {
+		t.Errorf("full-precision pass not exact: error %v", prevErr)
+	}
+}

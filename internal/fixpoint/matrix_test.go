@@ -1,0 +1,140 @@
+package fixpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(-1, 2); err == nil {
+		t.Error("negative rows accepted")
+	}
+	m, err := NewMatrix(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) != 0 {
+		t.Error("empty matrix has data")
+	}
+}
+
+func TestMatrixAtSetCloneEqual(t *testing.T) {
+	m, _ := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Error("At/Set mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone shares storage")
+	}
+	if m.Equal(c) {
+		t.Error("different matrices equal")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("clone not equal")
+	}
+	other, _ := NewMatrix(3, 2)
+	if m.Equal(other) || m.Equal(nil) {
+		t.Error("shape mismatch equal")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	copy(a.Data, []int32{1, 2, 3, 4, 5, 6})
+	b, _ := NewMatrix(3, 2)
+	copy(b.Data, []int32{7, 8, 9, 10, 11, 12})
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{58, 64, 139, 154}
+	for i, w := range want {
+		if got.Data[i] != w {
+			t.Errorf("MatMul[%d] = %d, want %d", i, got.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeMismatch(t *testing.T) {
+	a, _ := NewMatrix(2, 3)
+	b, _ := NewMatrix(2, 3)
+	if _, err := MatMul(a, b); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestMatAdd(t *testing.T) {
+	a, _ := NewMatrix(2, 2)
+	copy(a.Data, []int32{1, 2, 3, 4})
+	b, _ := NewMatrix(2, 2)
+	copy(b.Data, []int32{10, 20, 30, 40})
+	if err := MatAdd(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[3] != 44 {
+		t.Errorf("MatAdd wrong: %v", a.Data)
+	}
+	c, _ := NewMatrix(1, 2)
+	if err := MatAdd(a, c); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// TestMatMulDistributesOverPlanes is the distributivity property behind the
+// synchronous pipeline of Figure 10: multiplying the plane slices of A by C
+// and summing gives exactly A·C.
+func TestMatMulDistributesOverPlanes(t *testing.T) {
+	f := func(raw []int16) bool {
+		const n = 4
+		a, _ := NewMatrix(n, n)
+		c, _ := NewMatrix(n, n)
+		for i := 0; i < n*n; i++ {
+			if len(raw) > 0 {
+				a.Data[i] = int32(int8(raw[i%len(raw)]))
+				c.Data[i] = int32(int8(raw[(i*7+3)%len(raw)] >> 4))
+			}
+		}
+		const width = 8
+		want, err := MatMul(a, c)
+		if err != nil {
+			return false
+		}
+		sum, _ := NewMatrix(n, n)
+		for p := uint(0); p < width; p++ {
+			part, err := MatMul(a.PlaneSlice(p, width), c)
+			if err != nil {
+				return false
+			}
+			if err := MatAdd(sum, part); err != nil {
+				return false
+			}
+		}
+		return sum.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaskTopPlanePrefix: accumulating the top-k plane slices yields the
+// masked matrix, mirroring the scalar prefix property at matrix level.
+func TestMaskTopPlanePrefix(t *testing.T) {
+	m, _ := NewMatrix(2, 2)
+	copy(m.Data, []int32{-77, 31, 127, -128})
+	const width = 8
+	acc, _ := NewMatrix(2, 2)
+	for k := uint(1); k <= width; k++ {
+		if err := MatAdd(acc, m.PlaneSlice(width-k, width)); err != nil {
+			t.Fatal(err)
+		}
+		if !acc.Equal(m.MaskTop(k, width)) {
+			t.Fatalf("after %d planes accumulator %v != mask %v", k, acc.Data, m.MaskTop(k, width).Data)
+		}
+	}
+	if !acc.Equal(m) {
+		t.Error("full plane sum != original")
+	}
+}

@@ -1,0 +1,384 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"anytime/internal/core"
+	"anytime/internal/fixpoint"
+)
+
+// Figure 10 of the paper compares five organizations of the same two-stage
+// application: a sensor stage f that produces a fixed-point matrix F, and a
+// dependent stage g that computes the product G = F · C.
+//
+//	baseline                      f16 ; g(F16)
+//	f iterative                   f8 ; g(F8) ; f16 ; g(F16)
+//	f iterative, async pipeline   f8 ; [f16 ∥ g(F8)] ; g(F16)
+//	f diffusive, async pipeline   f8 ; [f+8 ∥ g(F8)] ; g(F16)
+//	f diffusive, g distributive,  f8 ; [f+8 ∥ g(X1)] ; g(X2)
+//	  synchronous pipeline
+//
+// The workload makes both effects of the paper's example physically real:
+//
+//   - Sensing is bit-serial: producing k bits of precision costs k plane
+//     passes over the sensor, so the diffusive f computes 16 plane passes
+//     total where the iterative f computes 8 + 16 = 24.
+//   - The product is computed by shift-and-add over the set bits of F's
+//     elements (a bit-serial multiplier), so g's cost scales with the
+//     operand's occupied bit planes: g over the low-half update X2 costs
+//     about half of g over the full-precision F16.
+type Fig10Result struct {
+	Org string
+	// FirstOutput is the time until the first whole-application output
+	// G-version is available.
+	FirstOutput time.Duration
+	// Precise is the time until the precise G is available.
+	Precise time.Duration
+	// NormFirst and NormPrecise are normalized to the baseline's precise
+	// time.
+	NormFirst, NormPrecise float64
+}
+
+// WriteFig10 prints the organization comparison as an aligned table.
+func WriteFig10(w io.Writer, rows []Fig10Result) error {
+	if _, err := fmt.Fprintf(w, "%-42s %12s %12s %10s %10s\n", "organization", "first-output", "precise", "norm-first", "norm-precise"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-42s %12v %12v %10.2f %10.2f\n", r.Org, r.FirstOutput.Round(time.Microsecond), r.Precise.Round(time.Microsecond), r.NormFirst, r.NormPrecise); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig10Workload fixes the sensor, the constant matrix C and the dimensions.
+type fig10Workload struct {
+	n, m       int // F is n x n, C is n x m
+	sensorWork int // xorshift rounds per element sense
+	seed       uint64
+	c          *fixpoint.Matrix
+}
+
+const fig10Width = 16 // bit planes per element
+
+func newFig10Workload(n int, seed uint64) (*fig10Workload, error) {
+	wl := &fig10Workload{n: n, m: 96, sensorWork: 48, seed: seed}
+	c, err := fixpoint.NewMatrix(n, wl.m)
+	if err != nil {
+		return nil, err
+	}
+	for i := range c.Data {
+		c.Data[i] = int32(int8(uint8(uint64(i)*2654435761 + seed)))
+	}
+	wl.c = c
+	return wl, nil
+}
+
+// sensorValue recomputes element i of the ground-truth matrix from the
+// seed; the xorshift loop is the per-sample sensor processing cost, paid
+// once per element per plane pass (half precision therefore costs half).
+func (wl *fig10Workload) sensorValue(i int) int32 {
+	x := wl.seed + uint64(i)*0x9E3779B97F4A7C15
+	for r := 0; r < wl.sensorWork; r++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return int32(int16(x)) // 16-bit signed fixed-point sample
+}
+
+// sensePlanes adds the signed contributions of bit planes
+// [fig10Width-1-from … fig10Width-to] (MSB-first positions from, …, to-1)
+// into dst. Each plane costs one full pass over the sensor.
+func (wl *fig10Workload) sensePlanes(dst *fixpoint.Matrix, from, to int) {
+	for p := from; p < to; p++ {
+		plane := uint(fig10Width - 1 - p)
+		for i := range dst.Data {
+			dst.Data[i] += fixpoint.PlaneValue(wl.sensorValue(i), plane, fig10Width)
+		}
+	}
+}
+
+// senseMatrix computes a fresh F with the top `planes` planes (an iterative
+// pass at that precision level).
+func (wl *fig10Workload) senseMatrix(planes int) (*fixpoint.Matrix, error) {
+	f, err := fixpoint.NewMatrix(wl.n, wl.n)
+	if err != nil {
+		return nil, err
+	}
+	wl.sensePlanes(f, 0, planes)
+	return f, nil
+}
+
+// product computes F·C with a bit-serial shift-and-add multiplier: cost is
+// proportional to the number of set bits in F's elements, so reduced-
+// precision or plane-slice operands are genuinely cheaper.
+func (wl *fig10Workload) product(f *fixpoint.Matrix) (*fixpoint.Matrix, error) {
+	if f.Cols != wl.c.Rows {
+		return nil, fmt.Errorf("harness: fig10 product shape mismatch")
+	}
+	out, err := fixpoint.NewMatrix(f.Rows, wl.m)
+	if err != nil {
+		return nil, err
+	}
+	wl.productInto(out, f)
+	return out, nil
+}
+
+func (wl *fig10Workload) productInto(dst *fixpoint.Matrix, f *fixpoint.Matrix) {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for r := 0; r < f.Rows; r++ {
+		drow := dst.Data[r*wl.m : (r+1)*wl.m]
+		for k := 0; k < f.Cols; k++ {
+			v := f.Data[r*f.Cols+k]
+			if v == 0 {
+				continue
+			}
+			crow := wl.c.Data[k*wl.m : (k+1)*wl.m]
+			// Shift-and-add over the set planes of v.
+			for p := uint(0); p < fig10Width; p++ {
+				pv := fixpoint.PlaneValue(v, p, fig10Width)
+				if pv == 0 {
+					continue
+				}
+				if pv > 0 {
+					for c2, cv := range crow {
+						drow[c2] += cv << p
+					}
+				} else {
+					for c2, cv := range crow {
+						drow[c2] -= cv << p
+					}
+				}
+			}
+		}
+	}
+}
+
+// Fig10Organizations measures time-to-first-output and time-to-precise for
+// the five organizations. opt.Size is the matrix dimension n (default 160).
+func Fig10Organizations(opt Options) ([]Fig10Result, error) {
+	n := opt.Size
+	if n == 0 {
+		n = 160
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	wl, err := newFig10Workload(n, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground truth for output verification.
+	f16, err := wl.senseMatrix(fig10Width)
+	if err != nil {
+		return nil, err
+	}
+	want, err := wl.product(f16)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig10Result
+	runs := []struct {
+		org string
+		fn  func() (first, precise time.Duration, final *fixpoint.Matrix, err error)
+	}{
+		{"baseline", wl.runBaseline},
+		{"f iterative (sequential)", wl.runIterativeSequential},
+		{"f iterative, async pipeline", wl.runIterativeAsync},
+		{"f diffusive, async pipeline", wl.runDiffusiveAsync},
+		{"f diffusive, g distributive, sync pipeline", wl.runDiffusiveSync},
+	}
+	var baselinePrecise time.Duration
+	for i, r := range runs {
+		first, precise, final, err := r.fn()
+		if err != nil {
+			return nil, fmt.Errorf("harness: fig10 %s: %w", r.org, err)
+		}
+		if !final.Equal(want) {
+			return nil, fmt.Errorf("harness: fig10 %s produced a non-precise final output", r.org)
+		}
+		if i == 0 {
+			baselinePrecise = precise
+		}
+		rows = append(rows, Fig10Result{
+			Org:         r.org,
+			FirstOutput: first,
+			Precise:     precise,
+			NormFirst:   float64(first) / float64(baselinePrecise),
+			NormPrecise: float64(precise) / float64(baselinePrecise),
+		})
+	}
+	return rows, nil
+}
+
+func (wl *fig10Workload) runBaseline() (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	start := time.Now()
+	f, err := wl.senseMatrix(fig10Width)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	g, err := wl.product(f)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	d := time.Since(start)
+	return d, d, g, nil
+}
+
+func (wl *fig10Workload) runIterativeSequential() (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	start := time.Now()
+	f8, err := wl.senseMatrix(fig10Width / 2)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if _, err := wl.product(f8); err != nil {
+		return 0, 0, nil, err
+	}
+	first := time.Since(start)
+	f16, err := wl.senseMatrix(fig10Width)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	g, err := wl.product(f16)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return first, time.Since(start), g, nil
+}
+
+// runPipelined runs stage f (which publishes F snapshots) against an async
+// consumer computing g on each, returning the publish times of g's first
+// and final outputs.
+func (wl *fig10Workload) runPipelined(fStage func(c *core.Context, out *core.Buffer[*fixpoint.Matrix]) error) (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	fBuf := core.NewBuffer[*fixpoint.Matrix]("F", nil)
+	gBuf := core.NewBuffer[*fixpoint.Matrix]("G", nil)
+	a := core.New()
+	if err := a.AddStage("f", func(c *core.Context) error {
+		return fStage(c, fBuf)
+	}); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := a.AddStage("g", func(c *core.Context) error {
+		return core.AsyncConsume(c, fBuf, func(s core.Snapshot[*fixpoint.Matrix]) error {
+			g, err := wl.product(s.Value)
+			if err != nil {
+				return err
+			}
+			_, err = gBuf.Publish(g, s.Final)
+			return err
+		})
+	}); err != nil {
+		return 0, 0, nil, err
+	}
+	return timePipeline(a, gBuf)
+}
+
+func (wl *fig10Workload) runIterativeAsync() (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	return wl.runPipelined(func(c *core.Context, out *core.Buffer[*fixpoint.Matrix]) error {
+		return core.Iterative(c, out, []func() (*fixpoint.Matrix, error){
+			func() (*fixpoint.Matrix, error) { return wl.senseMatrix(fig10Width / 2) },
+			func() (*fixpoint.Matrix, error) { return wl.senseMatrix(fig10Width) },
+		})
+	})
+}
+
+func (wl *fig10Workload) runDiffusiveAsync() (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	return wl.runPipelined(func(c *core.Context, out *core.Buffer[*fixpoint.Matrix]) error {
+		working, err := fixpoint.NewMatrix(wl.n, wl.n)
+		if err != nil {
+			return err
+		}
+		return core.Diffusive(c, out, 2,
+			func(pos int) error {
+				wl.sensePlanes(working, pos*fig10Width/2, (pos+1)*fig10Width/2)
+				return nil
+			},
+			func(processed int) (*fixpoint.Matrix, error) { return working.Clone(), nil },
+			core.RoundConfig{Granularity: 1})
+	})
+}
+
+func (wl *fig10Workload) runDiffusiveSync() (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	stream, err := core.NewStream[*fixpoint.Matrix](1)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	gBuf := core.NewBuffer[*fixpoint.Matrix]("G", nil)
+	a := core.New()
+	if err := a.AddStage("f", func(c *core.Context) error {
+		for half := 0; half < 2; half++ {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			x, err := fixpoint.NewMatrix(wl.n, wl.n)
+			if err != nil {
+				return err
+			}
+			wl.sensePlanes(x, half*fig10Width/2, (half+1)*fig10Width/2)
+			if err := stream.Send(c, core.Update[*fixpoint.Matrix]{Seq: half + 1, Data: x, Last: half == 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := a.AddStage("g", func(c *core.Context) error {
+		acc, err := fixpoint.NewMatrix(wl.n, wl.m)
+		if err != nil {
+			return err
+		}
+		return core.SyncConsume(c, stream, func(u core.Update[*fixpoint.Matrix]) error {
+			part, err := wl.product(u.Data)
+			if err != nil {
+				return err
+			}
+			if err := fixpoint.MatAdd(acc, part); err != nil {
+				return err
+			}
+			_, err = gBuf.Publish(acc.Clone(), u.Last)
+			return err
+		})
+	}); err != nil {
+		return 0, 0, nil, err
+	}
+	return timePipeline(a, gBuf)
+}
+
+// timePipeline starts the automaton and reports the wall times of the first
+// and final publishes to gBuf, plus the final matrix.
+func timePipeline(a *core.Automaton, gBuf *core.Buffer[*fixpoint.Matrix]) (time.Duration, time.Duration, *fixpoint.Matrix, error) {
+	var first, precise time.Duration
+	var start time.Time
+	gBuf.OnPublish(func(s core.Snapshot[*fixpoint.Matrix]) {
+		at := time.Since(start)
+		if s.Version == 1 {
+			first = at
+		}
+		if s.Final {
+			precise = at
+		}
+	})
+	start = time.Now()
+	if err := a.Start(context.Background()); err != nil {
+		return 0, 0, nil, err
+	}
+	if err := a.Wait(); err != nil {
+		return 0, 0, nil, err
+	}
+	snap, ok := gBuf.Latest()
+	if !ok || !snap.Final {
+		return 0, 0, nil, fmt.Errorf("harness: pipeline produced no final output")
+	}
+	return first, precise, snap.Value, nil
+}

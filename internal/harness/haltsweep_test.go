@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/core"
+	"anytime/internal/pix"
+)
+
+func conv2dBuild(t *testing.T, in *pix.Image) func() (*core.Automaton, *core.Buffer[*pix.Image], error) {
+	t.Helper()
+	return func() (*core.Automaton, *core.Buffer[*pix.Image], error) {
+		run, err := conv2d.New(in, conv2d.Config{Workers: 2})
+		if err != nil {
+			return nil, nil, err
+		}
+		return run.Automaton, run.Out, nil
+	}
+}
+
+func TestHaltSweepValidation(t *testing.T) {
+	in, err := pix.SyntheticGray(16, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := conv2dBuild(t, in)
+	if _, err := HaltSweep(build, in, 0, []float64{0.5}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+	if _, err := HaltSweep(build, in, time.Millisecond, nil); err == nil {
+		t.Error("empty fractions accepted")
+	}
+	if _, err := HaltSweep(build, in, time.Millisecond, []float64{-1}); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+// TestHaltSweepMatchesObserverProfile validates the harness's central
+// methodological claim (see the package comment): a halted run at fraction
+// x observes the same accuracy that the single-run observer profile
+// recorded at (or before) x. We compare the halted SNR at each fraction
+// against the observer profile's best-under bound — the halted run may be
+// slightly ahead or behind by one snapshot, so the check is a sandwich:
+// halted SNR must be at least the observer's best at half the fraction and
+// at most the observer's best at twice the fraction.
+func TestHaltSweepMatchesObserverProfile(t *testing.T) {
+	in, err := pix.SyntheticGray(160, 160, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := conv2d.Config{Workers: 2}
+	ref, err := conv2d.Precise(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := TimeBaseline(func() error {
+		_, err := conv2d.Precise(in, cfg)
+		return err
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observer profile from a single run.
+	col := NewCollector(ref, 0)
+	obsCfg := cfg
+	obsCfg.OnSnapshot = func(processed int, img *pix.Image) { col.Record(processed, img) }
+	run, err := conv2d.New(in, obsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Begin()
+	if _, err := RunToCompletion(run.Automaton); err != nil {
+		t.Fatal(err)
+	}
+	observed, err := col.Finish("2dconv", baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Halting sweep, the paper's procedure.
+	fractions := []float64{0.4, 0.8}
+	swept, err := HaltSweep(conv2dBuild(t, in), ref, baseline, fractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept.Points) != len(fractions) {
+		t.Fatalf("%d sweep points", len(swept.Points))
+	}
+	for i, pt := range swept.Points {
+		if math.IsInf(pt.SNR, 1) {
+			continue // finished early; trivially consistent
+		}
+		lower, okL := observed.BestUnder(fractions[i] / 2)
+		upper, okU := observed.BestUnder(fractions[i] * 2)
+		if okL && pt.SNR < lower-3 {
+			t.Errorf("halt@%.1f: swept SNR %.1f well below observer's %.1f at half the budget", fractions[i], pt.SNR, lower)
+		}
+		if okU && !math.IsInf(upper, 1) && pt.SNR > upper+3 {
+			t.Errorf("halt@%.1f: swept SNR %.1f well above observer's %.1f at twice the budget", fractions[i], pt.SNR, upper)
+		}
+	}
+}
+
+func TestHaltSweepGenerousBudgetReachesPrecise(t *testing.T) {
+	in, err := pix.SyntheticGray(48, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := conv2d.Precise(in, conv2d.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := TimeBaseline(func() error {
+		_, err := conv2d.Precise(in, conv2d.Config{Workers: 2})
+		return err
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := HaltSweep(conv2dBuild(t, in), ref, baseline, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Points[0].SNR, 1) {
+		t.Errorf("generous budget did not reach precise output: %v dB", p.Points[0].SNR)
+	}
+}
+
+// TestRunUntilWaitsForFirstOutput: a halt deadline shorter than the time to
+// the first publish must still return the first valid output rather than
+// erroring — the earliest halt point of an anytime computation is its
+// first available snapshot.
+func TestRunUntilWaitsForFirstOutput(t *testing.T) {
+	out := core.NewBuffer[*pix.Image]("out", nil)
+	a := core.New()
+	if err := a.AddStage("slowstart", func(c *core.Context) error {
+		time.Sleep(30 * time.Millisecond) // first publish well past the halt
+		img := pix.MustNew(1, 1, 1)
+		if _, err := out.Publish(img, false); err != nil {
+			return err
+		}
+		for {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := RunUntil(a, out, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 {
+		t.Errorf("got version %d, want the first output", snap.Version)
+	}
+}
+
+// TestRunUntilErrorsWhenNothingEverPublished: an automaton that finishes
+// without publishing is a genuine error.
+func TestRunUntilErrorsWhenNothingEverPublished(t *testing.T) {
+	out := core.NewBuffer[*pix.Image]("out", nil)
+	a := core.New()
+	if err := a.AddStage("mute", func(c *core.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUntil(a, out, time.Millisecond); err == nil {
+		t.Error("silent automaton did not error")
+	}
+}

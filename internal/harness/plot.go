@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the profile as an ASCII scatter in the layout of the
+// paper's Figures 11–15: x is runtime normalized to the baseline, y is SNR
+// in dB. Points at +Inf dB are drawn as '#' on the top row; finite points
+// as '*'. A '|' column marks x = 1.0 (the baseline runtime).
+func (p Profile) Plot(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(p.Points) == 0 {
+		_, err := fmt.Fprintln(w, "(no points)")
+		return err
+	}
+	var xMax, yMax float64
+	yMax = 1
+	xMax = 1
+	for _, pt := range p.Points {
+		if pt.Runtime > xMax {
+			xMax = pt.Runtime
+		}
+		if !math.IsInf(pt.SNR, 0) && pt.SNR > yMax {
+			yMax = pt.SNR
+		}
+	}
+	yMax *= 1.05
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	// Baseline marker column.
+	baseCol := int(1.0 / xMax * float64(width-1))
+	if baseCol >= 0 && baseCol < width {
+		for r := range grid {
+			grid[r][baseCol] = '|'
+		}
+	}
+	for _, pt := range p.Points {
+		col := int(pt.Runtime / xMax * float64(width-1))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		var row int
+		mark := '*'
+		if math.IsInf(pt.SNR, 1) {
+			row = 0
+			mark = '#'
+		} else {
+			y := pt.SNR
+			if y < 0 {
+				y = 0
+			}
+			row = height - 1 - int(y/yMax*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+		}
+		grid[row][col] = mark
+	}
+	if _, err := fmt.Fprintf(w, "%s: SNR(dB) vs runtime/baseline ('#' = precise, '|' = 1.0x)\n", p.App); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.1f ", yMax)
+		case height - 1:
+			label = "  0.0 "
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      %s\n      0%sx%.2f\n", strings.Repeat("-", width+2), strings.Repeat(" ", width-6), xMax)
+	return err
+}

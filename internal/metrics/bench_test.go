@@ -1,0 +1,33 @@
+package metrics
+
+import "testing"
+
+func benchSignals(n int) ([]int32, []int32) {
+	ref := make([]int32, n)
+	approx := make([]int32, n)
+	for i := range ref {
+		ref[i] = int32(i % 255)
+		approx[i] = ref[i] + int32(i%3) - 1
+	}
+	return ref, approx
+}
+
+func BenchmarkSNR(b *testing.B) {
+	ref, approx := benchSignals(512 * 512)
+	b.SetBytes(512 * 512 * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := SNR(ref, approx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMSE(b *testing.B) {
+	ref, approx := benchSignals(512 * 512)
+	b.SetBytes(512 * 512 * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := MSE(ref, approx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

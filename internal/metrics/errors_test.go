@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelMeanError(t *testing.T) {
+	got, err := RelMeanError([]int32{100, 200}, []int32{110, 180})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.1 + 0.1) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RelMeanError = %v, want %v", got, want)
+	}
+	// Zero reference elements use the unit floor.
+	got, err = RelMeanError([]int32{0}, []int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("zero-ref RelMeanError = %v, want 3", got)
+	}
+	if _, err := RelMeanError(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+func TestErrorPercentile(t *testing.T) {
+	ref := []int32{0, 0, 0, 0}
+	approx := []int32{1, 2, 3, 10}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{25, 1}, {50, 2}, {75, 3}, {100, 10}, {0, 1}}
+	for _, c := range cases {
+		got, err := ErrorPercentile(ref, approx, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("p=%v: got %d want %d", c.p, got, c.want)
+		}
+	}
+	if _, err := ErrorPercentile(ref, approx, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := ErrorPercentile(ref, approx, 101); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	ref := []int32{10, 10, 10, 10}
+	approx := []int32{10, 11, 13, 20}
+	got, err := WithinTolerance(ref, approx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("WithinTolerance = %v, want 0.5", got)
+	}
+	if _, err := WithinTolerance(ref, approx, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestErrorHistogram(t *testing.T) {
+	ref := []int32{0, 0, 0, 0}
+	approx := []int32{0, 5, 15, 100}
+	h, err := ErrorHistogram(ref, approx, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// errors 0,5 -> bin 0; 15 -> bin 1; 100 -> clamped to bin 2.
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if _, err := ErrorHistogram(ref, approx, 0, 10); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := ErrorHistogram(ref, approx, 3, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+// TestToleranceMonotoneInTol: loosening the tolerance can only admit more
+// elements, reaching 1.0 at the max error.
+func TestToleranceMonotoneInTol(t *testing.T) {
+	f := func(a, b []int16) bool {
+		n := min(len(a), len(b))
+		if n == 0 {
+			return true
+		}
+		ref := make([]int32, n)
+		approx := make([]int32, n)
+		for i := 0; i < n; i++ {
+			ref[i] = int32(a[i])
+			approx[i] = int32(b[i])
+		}
+		prev := -1.0
+		for _, tol := range []int64{0, 10, 1000, 1 << 20} {
+			frac, err := WithinTolerance(ref, approx, tol)
+			if err != nil || frac < prev {
+				return false
+			}
+			prev = frac
+		}
+		worst, err := MaxAbsError(ref, approx)
+		if err != nil {
+			return false
+		}
+		frac, err := WithinTolerance(ref, approx, worst)
+		return err == nil && frac == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramTotalsMatch: histogram bins always sum to the element count.
+func TestHistogramTotalsMatch(t *testing.T) {
+	f := func(a, b []int16, rawBins, rawWidth uint8) bool {
+		n := min(len(a), len(b))
+		if n == 0 {
+			return true
+		}
+		ref := make([]int32, n)
+		approx := make([]int32, n)
+		for i := 0; i < n; i++ {
+			ref[i] = int32(a[i])
+			approx[i] = int32(b[i])
+		}
+		bins := int(rawBins)%8 + 1
+		width := int64(rawWidth)%100 + 1
+		h, err := ErrorHistogram(ref, approx, bins, width)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

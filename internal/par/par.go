@@ -1,0 +1,54 @@
+// Package par provides the small deterministic parallel-loop helpers the
+// benchmark baselines share. The baselines are parallelized "to fully
+// utilize the available hardware threads" exactly as the paper's precise
+// executions are (§IV-A1); these helpers keep that parallelization
+// identical in structure across applications.
+package par
+
+import "sync"
+
+// Rows invokes fn on contiguous row bands [y0, y1) covering [0, h), one
+// band per worker. fn must be safe for concurrent calls on disjoint bands.
+func Rows(h, workers int, fn func(y0, y1 int)) {
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		fn(0, h)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(h*w/workers, h*(w+1)/workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Index invokes fn for every i in [0, n), striping indices cyclically
+// across workers. fn must be safe for concurrent calls on distinct indices.
+func Index(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowsCoverExactlyOnce(t *testing.T) {
+	f := func(rawH, rawW uint8) bool {
+		h := int(rawH) % 200
+		workers := int(rawW)%8 + 1
+		counts := make([]atomic.Int32, h)
+		Rows(h, workers, func(y0, y1 int) {
+			for y := y0; y < y1; y++ {
+				counts[y].Add(1)
+			}
+		})
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexCoversExactlyOnce(t *testing.T) {
+	f := func(rawN, rawW uint8) bool {
+		n := int(rawN) % 300
+		workers := int(rawW)%8 + 1
+		counts := make([]atomic.Int32, n)
+		Index(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if counts[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegenerateShapes(t *testing.T) {
+	Rows(0, 4, func(y0, y1 int) {
+		if y0 != y1 {
+			t.Error("empty rows invoked with work")
+		}
+	})
+	Index(0, 4, func(int) { t.Error("empty index invoked") })
+	calls := 0
+	Rows(3, 0, func(y0, y1 int) { calls += y1 - y0 })
+	if calls != 3 {
+		t.Errorf("workers=0 rows covered %d", calls)
+	}
+}

@@ -1,0 +1,103 @@
+// Package perforate implements loop perforation schedules for iterative
+// anytime stages (paper §III-B1, "Loop Perforation"). Perforation jumps
+// past loop iterations with a fixed stride; an anytime stage re-executes
+// the perforated loop with progressively smaller strides s_1 > … > s_n = 1,
+// so accuracy increases over time and the final pass is precise.
+package perforate
+
+import "fmt"
+
+// Schedule is a sequence of perforation strides for the intermediate
+// computations f_1 … f_n of an iterative stage. A valid schedule is
+// strictly decreasing and ends at stride 1 (the precise pass).
+type Schedule []int
+
+// Validate checks the paper's requirements: s_i < s_{i-1} and s_n = 1.
+func (s Schedule) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("perforate: empty schedule")
+	}
+	for i, v := range s {
+		if v < 1 {
+			return fmt.Errorf("perforate: stride %d at position %d must be >= 1", v, i)
+		}
+		if i > 0 && v >= s[i-1] {
+			return fmt.Errorf("perforate: strides must strictly decrease; got %d after %d", v, s[i-1])
+		}
+	}
+	if s[len(s)-1] != 1 {
+		return fmt.Errorf("perforate: final stride must be 1 (precise pass), got %d", s[len(s)-1])
+	}
+	return nil
+}
+
+// Passes reports the number of intermediate computations (n).
+func (s Schedule) Passes() int { return len(s) }
+
+// Geometric returns the schedule maxStride, maxStride/2, …, 2, 1.
+// maxStride must be a positive power of two.
+func Geometric(maxStride int) (Schedule, error) {
+	if maxStride < 1 || maxStride&(maxStride-1) != 0 {
+		return nil, fmt.Errorf("perforate: maxStride %d must be a positive power of two", maxStride)
+	}
+	var s Schedule
+	for v := maxStride; v >= 1; v /= 2 {
+		s = append(s, v)
+	}
+	return s, nil
+}
+
+// ForEach invokes fn(i) for i = 0, stride, 2*stride, … while i < n.
+// It is the perforated form of `for i := 0; i < n; i++`.
+func ForEach(n, stride int, fn func(i int)) error {
+	if stride < 1 {
+		return fmt.Errorf("perforate: stride %d must be >= 1", stride)
+	}
+	if n < 0 {
+		return fmt.Errorf("perforate: negative trip count %d", n)
+	}
+	for i := 0; i < n; i += stride {
+		fn(i)
+	}
+	return nil
+}
+
+// Iterations reports how many iterations ForEach(n, stride, …) executes.
+func Iterations(n, stride int) int {
+	if n <= 0 || stride < 1 {
+		return 0
+	}
+	return (n + stride - 1) / stride
+}
+
+// RedundantWork reports the total number of loop iterations executed by a
+// full schedule relative to the single precise pass: the overhead the paper
+// attributes to iterative (as opposed to diffusive) anytime stages. The
+// returned value is total iterations across all passes divided by n.
+func (s Schedule) RedundantWork(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0
+	for _, stride := range s {
+		total += Iterations(n, stride)
+	}
+	return float64(total) / float64(n)
+}
+
+// Linear returns the schedule max, max-step, …, ending at 1. step must be
+// positive; max must be at least 1.
+func Linear(max, step int) (Schedule, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("perforate: max stride %d must be >= 1", max)
+	}
+	if step < 1 {
+		return nil, fmt.Errorf("perforate: step %d must be >= 1", step)
+	}
+	var s Schedule
+	for v := max; v > 1; v -= step {
+		s = append(s, v)
+	}
+	s = append(s, 1)
+	return s, nil
+}

@@ -1,0 +1,142 @@
+package perforate
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := []Schedule{{1}, {2, 1}, {8, 4, 2, 1}, {7, 3, 1}}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", s, err)
+		}
+	}
+	bad := []Schedule{nil, {}, {0}, {2, 2, 1}, {2, 4, 1}, {4, 2}, {-1, 1}}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%v accepted", s)
+		}
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	s, err := Geometric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, Schedule{8, 4, 2, 1}) {
+		t.Errorf("Geometric(8) = %v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Geometric schedule invalid: %v", err)
+	}
+	if s.Passes() != 4 {
+		t.Errorf("Passes = %d", s.Passes())
+	}
+	one, err := Geometric(1)
+	if err != nil || !reflect.DeepEqual(one, Schedule{1}) {
+		t.Errorf("Geometric(1) = %v, %v", one, err)
+	}
+	for _, bad := range []int{0, -2, 3, 12} {
+		if _, err := Geometric(bad); err == nil {
+			t.Errorf("Geometric(%d) accepted", bad)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var got []int
+	if err := ForEach(10, 3, func(i int) { got = append(got, i) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 3, 6, 9}) {
+		t.Errorf("ForEach = %v", got)
+	}
+	if err := ForEach(5, 0, func(int) {}); err == nil {
+		t.Error("stride 0 accepted")
+	}
+	if err := ForEach(-1, 1, func(int) {}); err == nil {
+		t.Error("negative n accepted")
+	}
+	calls := 0
+	if err := ForEach(0, 1, func(int) { calls++ }); err != nil || calls != 0 {
+		t.Error("n=0 misbehaved")
+	}
+}
+
+func TestIterationsMatchesForEach(t *testing.T) {
+	f := func(rawN uint16, rawS uint8) bool {
+		n := int(rawN) % 1000
+		stride := int(rawS)%16 + 1
+		count := 0
+		if err := ForEach(n, stride, func(int) { count++ }); err != nil {
+			return false
+		}
+		return count == Iterations(n, stride)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStrideOneCoversAll: the precise pass must visit every index — the
+// guarantee that makes the final iterative computation exact.
+func TestStrideOneCoversAll(t *testing.T) {
+	const n = 137
+	seen := make([]bool, n)
+	if err := ForEach(n, 1, func(i int) { seen[i] = true }); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d not visited by precise pass", i)
+		}
+	}
+}
+
+func TestRedundantWork(t *testing.T) {
+	s := Schedule{8, 4, 2, 1}
+	// For n divisible by 8: n/8 + n/4 + n/2 + n iterations = 1.875n.
+	got := s.RedundantWork(800)
+	if math.Abs(got-1.875) > 1e-12 {
+		t.Errorf("RedundantWork = %v, want 1.875", got)
+	}
+	if s.RedundantWork(0) != 0 || s.RedundantWork(-5) != 0 {
+		t.Error("degenerate n should report 0")
+	}
+	// A diffusive stage would be 1.0; iterative must exceed it.
+	if got <= 1 {
+		t.Error("iterative schedule reports no redundant work")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	s, err := Linear(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, Schedule{7, 5, 3, 1}) {
+		t.Errorf("Linear(7,2) = %v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("linear schedule invalid: %v", err)
+	}
+	one, err := Linear(1, 3)
+	if err != nil || !reflect.DeepEqual(one, Schedule{1}) {
+		t.Errorf("Linear(1,3) = %v, %v", one, err)
+	}
+	if _, err := Linear(0, 1); err == nil {
+		t.Error("max=0 accepted")
+	}
+	if _, err := Linear(4, 0); err == nil {
+		t.Error("step=0 accepted")
+	}
+	// Exactly-divisible case must still end at 1 without duplicates.
+	s, err = Linear(4, 3)
+	if err != nil || !reflect.DeepEqual(s, Schedule{4, 1}) {
+		t.Errorf("Linear(4,3) = %v, %v", s, err)
+	}
+}

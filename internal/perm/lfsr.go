@@ -1,0 +1,118 @@
+// Package perm provides the sampling permutations of the Anytime Automaton
+// model (San Miguel & Enright Jerger, ISCA 2016, §III-B2): sequential orders
+// for priority-ordered data, N-dimensional bit-reverse "tree" orders for
+// ordered data without priority, and LFSR-based pseudo-random orders for
+// unordered data. All orders are bijections on [0, n): every index is
+// visited exactly once, which is what guarantees that a diffusive anytime
+// stage eventually reaches the precise output.
+//
+// The package also implements the multi-threaded sampling scheme of §IV-C1:
+// a deterministic order can be divided cyclically among workers so that the
+// sampled resolution grows uniformly no matter how many workers consume it.
+package perm
+
+import "fmt"
+
+// galoisTaps maps an LFSR width in bits to the feedback mask of a maximal-
+// length Galois LFSR (mask bit k set means polynomial term x^(k+1)). With a
+// maximal mask, the register cycles through every nonzero state exactly once
+// per period (period 2^width - 1). The masks are derived from the standard
+// table of primitive polynomials used for hardware LFSRs; widths 2..20 are
+// verified exhaustively by the package tests.
+var galoisTaps = [33]uint32{
+	2:  0x3,        // x^2 + x + 1
+	3:  0x6,        // x^3 + x^2 + 1
+	4:  0xC,        // x^4 + x^3 + 1
+	5:  0x14,       // x^5 + x^3 + 1
+	6:  0x30,       // x^6 + x^5 + 1
+	7:  0x60,       // x^7 + x^6 + 1
+	8:  0xB8,       // x^8 + x^6 + x^5 + x^4 + 1
+	9:  0x110,      // x^9 + x^5 + 1
+	10: 0x240,      // x^10 + x^7 + 1
+	11: 0x500,      // x^11 + x^9 + 1
+	12: 0x829,      // x^12 + x^6 + x^4 + x^1 + 1
+	13: 0x100D,     // x^13 + x^4 + x^3 + x^1 + 1
+	14: 0x2015,     // x^14 + x^5 + x^3 + x^1 + 1
+	15: 0x6000,     // x^15 + x^14 + 1
+	16: 0xD008,     // x^16 + x^15 + x^13 + x^4 + 1
+	17: 0x12000,    // x^17 + x^14 + 1
+	18: 0x20400,    // x^18 + x^11 + 1
+	19: 0x40023,    // x^19 + x^6 + x^2 + x^1 + 1
+	20: 0x90000,    // x^20 + x^17 + 1
+	21: 0x140000,   // x^21 + x^19 + 1
+	22: 0x300000,   // x^22 + x^21 + 1
+	23: 0x420000,   // x^23 + x^18 + 1
+	24: 0xE10000,   // x^24 + x^23 + x^22 + x^17 + 1
+	25: 0x1200000,  // x^25 + x^22 + 1
+	26: 0x2000023,  // x^26 + x^6 + x^2 + x^1 + 1
+	27: 0x4000013,  // x^27 + x^5 + x^2 + x^1 + 1
+	28: 0x9000000,  // x^28 + x^25 + 1
+	29: 0x14000000, // x^29 + x^27 + 1
+	30: 0x20000029, // x^30 + x^6 + x^4 + x^1 + 1
+	31: 0x48000000, // x^31 + x^28 + 1
+	32: 0x80200003, // x^32 + x^22 + x^2 + x^1 + 1
+}
+
+// MaxLFSRBits is the widest LFSR this package can construct.
+const MaxLFSRBits = 32
+
+// LFSR is a maximal-length Galois linear-feedback shift register. It is the
+// deterministic pseudo-random number generator the paper recommends for
+// pseudo-random sampling permutations ("we use a linear-feedback shift
+// register, which is very simple to implement in hardware", §III-B2).
+//
+// An LFSR of width b cycles through all 2^b - 1 nonzero b-bit values exactly
+// once before repeating. The zero state is absorbing and therefore invalid.
+type LFSR struct {
+	state uint32
+	taps  uint32
+	bits  uint
+}
+
+// NewLFSR returns an LFSR of the given width seeded with the given state.
+// Width must be in [2, MaxLFSRBits]. The seed is reduced into the register's
+// nonzero state space, so any seed value is acceptable.
+func NewLFSR(bits uint, seed uint64) (*LFSR, error) {
+	if bits < 2 || bits > MaxLFSRBits {
+		return nil, fmt.Errorf("perm: LFSR width %d out of range [2,%d]", bits, MaxLFSRBits)
+	}
+	mask := uint32(1)<<bits - 1
+	if bits == 32 {
+		mask = ^uint32(0)
+	}
+	state := uint32(seed^(seed>>32)) & mask
+	if state == 0 {
+		state = 1
+	}
+	return &LFSR{state: state, taps: galoisTaps[bits], bits: bits}, nil
+}
+
+// Bits reports the register width.
+func (l *LFSR) Bits() uint { return l.bits }
+
+// State reports the current register contents (always nonzero).
+func (l *LFSR) State() uint32 { return l.state }
+
+// Next advances the register one step and returns the new state. The
+// returned value is uniform over [1, 2^bits) across a full period.
+func (l *LFSR) Next() uint32 {
+	lsb := l.state & 1
+	l.state >>= 1
+	if lsb != 0 {
+		l.state ^= l.taps
+	}
+	return l.state
+}
+
+// Period returns the register's full period, 2^bits - 1.
+func (l *LFSR) Period() uint64 { return 1<<l.bits - 1 }
+
+// bitsFor returns the smallest LFSR width whose period covers values
+// 1..n, i.e. the smallest b with 2^b - 1 >= n.
+func bitsFor(n int) uint {
+	b := uint(2)
+	for (uint64(1)<<b)-1 < uint64(n) {
+		b++
+	}
+	return b
+}

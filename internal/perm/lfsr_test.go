@@ -1,0 +1,116 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLFSRWidthBounds(t *testing.T) {
+	for _, bits := range []uint{0, 1, 33, 64} {
+		if _, err := NewLFSR(bits, 1); err == nil {
+			t.Errorf("NewLFSR(%d) accepted out-of-range width", bits)
+		}
+	}
+	for _, bits := range []uint{2, 8, 16, 32} {
+		if _, err := NewLFSR(bits, 1); err != nil {
+			t.Errorf("NewLFSR(%d) rejected valid width: %v", bits, err)
+		}
+	}
+}
+
+func TestLFSRZeroSeedCoerced(t *testing.T) {
+	l, err := NewLFSR(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.State() == 0 {
+		t.Fatal("zero seed left LFSR in absorbing zero state")
+	}
+}
+
+// TestLFSRFullPeriod exhaustively verifies that every tap mask up to 20 bits
+// yields a maximal-length register: all 2^b - 1 nonzero states visited
+// exactly once before returning to the start state.
+func TestLFSRFullPeriod(t *testing.T) {
+	for bits := uint(2); bits <= 20; bits++ {
+		l, err := NewLFSR(bits, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := l.State()
+		period := l.Period()
+		seen := make([]bool, uint64(1)<<bits)
+		var steps uint64
+		for {
+			v := l.Next()
+			if v == 0 {
+				t.Fatalf("bits=%d: LFSR reached zero state", bits)
+			}
+			if seen[v] {
+				t.Fatalf("bits=%d: state %d repeated after %d steps (period %d)", bits, v, steps, period)
+			}
+			seen[v] = true
+			steps++
+			if v == start {
+				break
+			}
+		}
+		if steps != period {
+			t.Fatalf("bits=%d: period %d, want %d", bits, steps, period)
+		}
+	}
+}
+
+// TestLFSRWidePeriodNoEarlyRepeat spot-checks the wide registers: the start
+// state must not recur within a large number of steps (a short cycle would
+// betray a non-maximal tap mask).
+func TestLFSRWidePeriodNoEarlyRepeat(t *testing.T) {
+	const steps = 1 << 21
+	for bits := uint(22); bits <= 32; bits++ {
+		l, err := NewLFSR(bits, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := l.State()
+		for i := 0; i < steps; i++ {
+			if l.Next() == start {
+				t.Fatalf("bits=%d: start state recurred after %d steps", bits, i+1)
+			}
+		}
+	}
+}
+
+func TestLFSRDeterministic(t *testing.T) {
+	a, _ := NewLFSR(16, 99)
+	b, _ := NewLFSR(16, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed LFSRs diverged at step %d", i)
+		}
+	}
+}
+
+func TestLFSRSeedReduction(t *testing.T) {
+	// Seeds differing only above the register width must still produce a
+	// valid (nonzero) state.
+	if err := quick.Check(func(seed uint64) bool {
+		l, err := NewLFSR(12, seed)
+		return err == nil && l.State() != 0 && l.State() < 1<<12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{
+		{1, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {255, 8}, {256, 9}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		if got := bitsFor(c.n); got != c.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package perm
+
+import "fmt"
+
+// Stripe is one worker's cyclic share of an Order: positions start,
+// start+stride, start+2*stride, ... of the parent order. Striping an order
+// cyclically is the paper's recommended division for multi-threaded
+// sampling (§IV-C1): with the tree permutation it keeps the sampled
+// resolution growing uniformly regardless of worker count, and with the
+// pseudo-random permutation it keeps each worker's sample unbiased.
+type Stripe struct {
+	order  Order
+	start  int
+	stride int
+}
+
+// Len reports how many positions this stripe covers.
+func (s Stripe) Len() int {
+	if s.stride <= 0 || s.start >= s.order.Len() {
+		return 0
+	}
+	return (s.order.Len() - s.start + s.stride - 1) / s.stride
+}
+
+// At returns the index visited at the stripe's local position i.
+func (s Stripe) At(i int) int { return s.order.At(s.start + i*s.stride) }
+
+// Position returns the parent-order position of the stripe's local
+// position i.
+func (s Stripe) Position(i int) int { return s.start + i*s.stride }
+
+// Partition divides the order cyclically among the given number of workers:
+// worker w receives positions w, w+workers, w+2*workers, ... Together the
+// stripes cover every position exactly once.
+func (o Order) Partition(workers int) ([]Stripe, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("perm: worker count %d must be positive", workers)
+	}
+	stripes := make([]Stripe, workers)
+	for w := range stripes {
+		stripes[w] = Stripe{order: o, start: w, stride: workers}
+	}
+	return stripes, nil
+}
+
+// Range returns the positions [lo, hi) of the order as a Stripe with
+// stride 1. It is useful for round-based diffusive execution where each
+// round consumes a contiguous span of the order.
+func (o Order) Range(lo, hi int) (Stripe, error) {
+	if lo < 0 || hi < lo || hi > o.Len() {
+		return Stripe{}, fmt.Errorf("perm: range [%d,%d) out of bounds for order of length %d", lo, hi, o.Len())
+	}
+	return Stripe{order: Order{idx: o.idx[lo:hi]}, start: 0, stride: 1}, nil
+}

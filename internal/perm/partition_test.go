@@ -1,0 +1,133 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionCoversOrderExactlyOnce(t *testing.T) {
+	o, err := Tree1D(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 7, 100, 128} {
+		stripes, err := o.Partition(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]int)
+		total := 0
+		for _, s := range stripes {
+			for i := 0; i < s.Len(); i++ {
+				seen[s.At(i)]++
+				total++
+			}
+		}
+		if total != o.Len() {
+			t.Errorf("workers=%d: stripes cover %d positions, want %d", workers, total, o.Len())
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d visited %d times", workers, idx, c)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsNonPositive(t *testing.T) {
+	o, _ := Sequential(10)
+	for _, w := range []int{0, -1} {
+		if _, err := o.Partition(w); err == nil {
+			t.Errorf("Partition(%d) did not error", w)
+		}
+	}
+}
+
+// TestPartitionCyclicEarlyCoverage verifies the paper's motivation for
+// cyclic distribution (§IV-C1): with W workers each having consumed j
+// elements, the union equals the first W*j positions of the order, so the
+// tree order's low-resolution-first property is preserved.
+func TestPartitionCyclicEarlyCoverage(t *testing.T) {
+	o, err := Tree2D(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	stripes, err := o.Partition(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 8; j++ {
+		got := make(map[int]bool)
+		for _, s := range stripes {
+			for i := 0; i < j && i < s.Len(); i++ {
+				got[s.At(i)] = true
+			}
+		}
+		for p := 0; p < workers*j && p < o.Len(); p++ {
+			if !got[o.At(p)] {
+				t.Fatalf("after %d elements/worker, order position %d (index %d) missing", j, p, o.At(p))
+			}
+		}
+	}
+}
+
+func TestStripePosition(t *testing.T) {
+	o, _ := Sequential(10)
+	stripes, _ := o.Partition(3)
+	s := stripes[1]
+	if s.Position(0) != 1 || s.Position(1) != 4 || s.Position(2) != 7 {
+		t.Errorf("stripe positions wrong: %d %d %d", s.Position(0), s.Position(1), s.Position(2))
+	}
+	if s.Len() != 3 {
+		t.Errorf("stripe len = %d, want 3", s.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	o, _ := Tree1D(32)
+	r, err := o.Range(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Range len = %d, want 8", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.At(i) != o.At(4+i) {
+			t.Errorf("Range At(%d) = %d, want %d", i, r.At(i), o.At(4+i))
+		}
+	}
+	if _, err := o.Range(-1, 4); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := o.Range(8, 4); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := o.Range(0, 33); err == nil {
+		t.Error("hi>len accepted")
+	}
+}
+
+func TestRangePartitionProperty(t *testing.T) {
+	f := func(rawN, rawW uint8) bool {
+		n := int(rawN)%500 + 1
+		w := int(rawW)%8 + 1
+		o, err := PseudoRandom(n, 5)
+		if err != nil {
+			return false
+		}
+		stripes, err := o.Partition(w)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range stripes {
+			total += s.Len()
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package perm
+
+import "fmt"
+
+// Data reordering (paper §IV-C3). Non-sequential sampling permutations cost
+// cache and row-buffer locality; the paper points out that because the
+// permutations are static and deterministic, "input and output data sets
+// can be reordered in-memory" (via near-data processing) so that sampling
+// proceeds through memory sequentially. These helpers perform that
+// reordering in software; the applications expose it as an opt-in
+// (see the histeq ablation).
+
+// Reorder returns a copy of data permuted into visit order:
+// out[i] = data[o.At(i)], so reading out sequentially visits data in the
+// order's sequence. len(data) must equal o.Len().
+func (o Order) Reorder(data []int32) ([]int32, error) {
+	if len(data) != o.Len() {
+		return nil, fmt.Errorf("perm: reorder length %d != order length %d", len(data), o.Len())
+	}
+	out := make([]int32, len(data))
+	for i := range out {
+		out[i] = data[o.At(i)]
+	}
+	return out, nil
+}
+
+// Scatter is the inverse of Reorder: it returns a copy of data scattered
+// back to original positions, out[o.At(i)] = data[i]. Applying Reorder then
+// Scatter (or vice versa) yields the original slice.
+func (o Order) Scatter(data []int32) ([]int32, error) {
+	if len(data) != o.Len() {
+		return nil, fmt.Errorf("perm: scatter length %d != order length %d", len(data), o.Len())
+	}
+	out := make([]int32, len(data))
+	for i := range data {
+		out[o.At(i)] = data[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package pix
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePNM hardens the parser: arbitrary input must never panic, and
+// any successfully decoded image must re-encode and decode to the same
+// pixels.
+func FuzzDecodePNM(f *testing.F) {
+	var seed bytes.Buffer
+	img, err := SyntheticGray(5, 3, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodePNM(&seed, img); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P6\n1 1\n255\nRGB"))
+	f.Add([]byte("P5 # comment\n1 1\n255\nx"))
+	f.Add([]byte("P5\n-1 1\n255\n"))
+	f.Add([]byte("P5\n99999999 99999999\n255\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodePNM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.W*im.H*im.C != len(im.Pix) {
+			t.Fatalf("inconsistent geometry %dx%dx%d with %d samples", im.W, im.H, im.C, len(im.Pix))
+		}
+		var buf bytes.Buffer
+		if err := EncodePNM(&buf, im); err != nil {
+			t.Fatalf("re-encode of decoded image failed: %v", err)
+		}
+		back, err := DecodePNM(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !back.Equal(im) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}
+
+// FuzzHoldFill: arbitrary geometry and mask bytes must not panic, and the
+// result must leave filled pixels untouched.
+func FuzzHoldFill(f *testing.F) {
+	f.Add(uint8(4), uint8(4), []byte{1, 0, 1})
+	f.Add(uint8(1), uint8(1), []byte{})
+	f.Add(uint8(16), uint8(3), []byte{0})
+	f.Fuzz(func(t *testing.T, rw, rh uint8, mask []byte) {
+		w := int(rw)%24 + 1
+		h := int(rh)%24 + 1
+		im := MustNew(w, h, 1)
+		for i := range im.Pix {
+			im.Pix[i] = int32(i % 251)
+		}
+		filled := make([]bool, w*h)
+		for i := range filled {
+			if len(mask) > 0 {
+				filled[i] = mask[i%len(mask)]&1 == 1
+			}
+		}
+		out, err := HoldFill(im, filled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ok := range filled {
+			if ok && out.Pix[i] != im.Pix[i] {
+				t.Fatalf("filled pixel %d changed", i)
+			}
+		}
+	})
+}

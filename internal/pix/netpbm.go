@@ -1,0 +1,145 @@
+package pix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Netpbm I/O: binary PGM (P5) for single-channel images and binary PPM (P6)
+// for three-channel images, 8 bits per sample. Values outside [0, 255] are
+// clamped on encode so intermediate fixed-point images can be inspected
+// directly.
+
+// EncodePNM writes im as binary PGM (1 channel) or PPM (3 channels).
+func EncodePNM(w io.Writer, im *Image) error {
+	var magic string
+	switch im.C {
+	case 1:
+		magic = "P5"
+	case 3:
+		magic = "P6"
+	default:
+		return fmt.Errorf("pix: cannot encode %d-channel image as PNM", im.C)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\n%d %d\n255\n", magic, im.W, im.H); err != nil {
+		return err
+	}
+	for _, v := range im.Pix {
+		if err := bw.WriteByte(byte(clamp8(v))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePNM reads a binary PGM (P5) or PPM (P6) image with maxval <= 255.
+func DecodePNM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	var channels int
+	switch magic {
+	case "P5":
+		channels = 1
+	case "P6":
+		channels = 3
+	default:
+		return nil, fmt.Errorf("pix: unsupported PNM magic %q", magic)
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxval, err := pnmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("pix: unsupported PNM maxval %d", maxval)
+	}
+	im, err := New(w, h, channels)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, len(im.Pix))
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("pix: short PNM pixel data: %w", err)
+	}
+	for i, b := range raw {
+		im.Pix[i] = int32(b)
+	}
+	return im, nil
+}
+
+// WritePNMFile encodes im to the named file.
+func WritePNMFile(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodePNM(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPNMFile decodes the named PGM/PPM file.
+func ReadPNMFile(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodePNM(f)
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#' comments.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pnmInt(br *bufio.Reader) (int, error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	var v int
+	if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+		return 0, fmt.Errorf("pix: bad PNM header token %q", tok)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("pix: negative PNM header value %d", v)
+	}
+	return v, nil
+}

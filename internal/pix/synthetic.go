@@ -1,0 +1,187 @@
+package pix
+
+import (
+	"fmt"
+	"math"
+
+	"anytime/internal/perm"
+)
+
+// Synthetic generators. The paper evaluates on "large image input sets" from
+// PERFECT and AxBench, which are not available offline. These generators
+// produce deterministic images with the statistics the benchmarks care
+// about — smooth gradients (convolution, wavelets), hard edges and disks
+// (debayer, histeq contrast), periodic texture (dwt53), distinct color
+// populations (kmeans), and broadband noise — so the identical code paths
+// are exercised. See DESIGN.md §2 for the substitution rationale.
+
+// SyntheticGray returns a deterministic single-channel 8-bit test image:
+// a diagonal gradient base layer with superimposed disks, bars, a sine
+// texture band, and LFSR noise.
+func SyntheticGray(w, h int, seed uint64) (*Image, error) {
+	im, err := NewGray(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if w == 0 || h == 0 {
+		return im, nil
+	}
+	noise, err := noiseField(w*h, seed)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := gradient(x, y, w, h)
+			v += disks(x, y, w, h)
+			v += bars(x, y, w, h)
+			v += sineBand(x, y, w, h)
+			v += noise[y*w+x] % 17 // low-amplitude broadband noise
+			im.SetGray(x, y, clamp8(v))
+		}
+	}
+	return im, nil
+}
+
+// SyntheticRGB returns a deterministic three-channel 8-bit test image with
+// several distinct color regions (useful for k-means) overlaid on
+// channel-shifted versions of the gray features.
+func SyntheticRGB(w, h int, seed uint64) (*Image, error) {
+	im, err := NewRGB(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if w == 0 || h == 0 {
+		return im, nil
+	}
+	noise, err := noiseField(w*h*3, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Distinct color patches give k-means well-separated populations.
+	palette := [6][3]int32{
+		{220, 60, 50}, {60, 190, 80}, {50, 90, 210},
+		{230, 200, 60}, {160, 70, 190}, {240, 240, 235},
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			region := (3*y/h)*2 + (2 * x / w) // 3x2 grid of patches
+			if region > 5 {
+				region = 5
+			}
+			base := palette[region]
+			for c := 0; c < 3; c++ {
+				v := base[c]
+				// Channel-dependent texture keeps the patches non-constant.
+				v += gradient(x+13*c, y+7*c, w, h) / 4
+				v += sineBand(x, y+c*h/9, w, h) / 2
+				v += noise[(y*w+x)*3+c] % 13
+				im.Set(x, y, c, clamp8(v))
+			}
+		}
+	}
+	return im, nil
+}
+
+// BayerGRBG mosaics an RGB image into a single-channel Bayer pattern with
+// the GRBG layout:
+//
+//	G R
+//	B G
+//
+// This is the sensor output format consumed by the debayer benchmark.
+func BayerGRBG(rgb *Image) (*Image, error) {
+	if rgb.C != 3 {
+		return nil, errChannels("BayerGRBG", 3, rgb.C)
+	}
+	out, err := NewGray(rgb.W, rgb.H)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < rgb.H; y++ {
+		for x := 0; x < rgb.W; x++ {
+			out.SetGray(x, y, rgb.At(x, y, bayerChannelGRBG(x, y)))
+		}
+	}
+	return out, nil
+}
+
+// BayerChannelGRBG returns which RGB channel (0=R, 1=G, 2=B) the GRBG Bayer
+// pattern samples at (x, y).
+func BayerChannelGRBG(x, y int) int { return bayerChannelGRBG(x, y) }
+
+func bayerChannelGRBG(x, y int) int {
+	switch {
+	case y%2 == 0 && x%2 == 0:
+		return 1 // G
+	case y%2 == 0:
+		return 0 // R
+	case x%2 == 0:
+		return 2 // B
+	default:
+		return 1 // G
+	}
+}
+
+func gradient(x, y, w, h int) int32 {
+	return int32(64 * (x + y) / (w + h))
+}
+
+func disks(x, y, w, h int) int32 {
+	type disk struct {
+		cx, cy, r float64
+		amp       int32
+	}
+	ds := [3]disk{
+		{0.3, 0.35, 0.14, 120},
+		{0.72, 0.28, 0.10, -70},
+		{0.62, 0.72, 0.18, 90},
+	}
+	var v int32
+	fx, fy := float64(x)/float64(w), float64(y)/float64(h)
+	for _, d := range ds {
+		dx, dy := fx-d.cx, fy-d.cy
+		if dx*dx+dy*dy < d.r*d.r {
+			v += d.amp
+		}
+	}
+	return v
+}
+
+func bars(x, y, w, h int) int32 {
+	// Vertical bars in the lower-left quadrant: hard edges for filters.
+	if x < w/2 && y > 2*h/3 {
+		if (8*x/w)%2 == 0 {
+			return 60
+		}
+		return -40
+	}
+	return 0
+}
+
+func sineBand(x, y, w, h int) int32 {
+	// Horizontal band of sinusoidal texture across the middle.
+	if y >= 2*h/5 && y < 3*h/5 {
+		return int32(40 * math.Sin(float64(x)*2*math.Pi*6/float64(w)))
+	}
+	return 0
+}
+
+func noiseField(n int, seed uint64) ([]int32, error) {
+	out := make([]int32, n)
+	if n == 0 {
+		return out, nil
+	}
+	l, err := perm.NewLFSR(24, seed|1)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i] = int32(l.Next() & 0xFF)
+	}
+	return out, nil
+}
+
+func errChannels(op string, want, got int) error {
+	return fmt.Errorf("pix: %s requires %d channels, got %d", op, want, got)
+}

@@ -1,0 +1,41 @@
+package sched
+
+// Figure2Pipeline builds the paper's running example (Figures 1 and 2):
+//
+//	prologue(); f(); g(); h(); i(); epilogue();
+//
+// becomes the DAG f -> {g, h} -> i, with every stage anytime at n = 2
+// intermediate computations. f is the longest stage (it feeds everything),
+// g and h are mid-weight siblings, and i is the light final stage that
+// assembles each whole-application output O_wxyz.
+//
+// The relative costs make the paper's §IV-C2 tradeoff visible: f's first
+// pass dominates the path to O1111, while i's pass latency bounds the gap
+// between consecutive outputs.
+func Figure2Pipeline() Pipeline {
+	return Pipeline{Stages: []StageSpec{
+		{Name: "f", PassCosts: []float64{40, 60}, ParallelFrac: 0.95},
+		{Name: "g", PassCosts: []float64{12, 18}, ParallelFrac: 0.95, Deps: []int{0}},
+		{Name: "h", PassCosts: []float64{10, 16}, ParallelFrac: 0.95, Deps: []int{0}},
+		{Name: "i", PassCosts: []float64{8, 12}, ParallelFrac: 0.95, Deps: []int{1, 2}},
+	}}
+}
+
+// HisteqPipeline models the four-stage histeq automaton of §IV-A2 with the
+// relative per-pass costs this repository measures: a diffusive sampled
+// histogram publishing six versions, two tiny non-anytime stages (CDF and
+// LUT normalization), and a diffusive apply stage whose pass costs rival
+// the histogram's. It is the pipeline whose non-anytime middle stages make
+// histeq the evaluation's worst case.
+func HisteqPipeline() Pipeline {
+	histPasses := make([]float64, 6)
+	for i := range histPasses {
+		histPasses[i] = 10 // one sixth of the input sampled per publish
+	}
+	return Pipeline{Stages: []StageSpec{
+		{Name: "hist", PassCosts: histPasses, ParallelFrac: 0.9},
+		{Name: "cdf", PassCosts: []float64{0.5}, Deps: []int{0}},
+		{Name: "lut", PassCosts: []float64{0.5}, Deps: []int{1}},
+		{Name: "apply", PassCosts: []float64{12, 12, 12, 12}, ParallelFrac: 0.9, Deps: []int{2}},
+	}}
+}

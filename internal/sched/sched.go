@@ -1,0 +1,108 @@
+// Package sched studies the pipeline-scheduling problem the paper opens in
+// §IV-C2: given an architecture with limited hardware threads, how many
+// workers should each computation stage of an anytime automaton receive?
+//
+// The paper observes a tradeoff on its Figure 2 pipeline (stages f, g, h, i
+// with two intermediate computations each): to minimize the time to the
+// FIRST approximate output O1111, give workers to the longest stage (f);
+// to minimize the time BETWEEN consecutive outputs, give workers to the
+// final stage (i). Correctness is unaffected either way — scheduling is
+// "merely an optimization problem".
+//
+// Wall-clock experiments cannot show this on a machine without real
+// parallelism, so the package provides a deterministic discrete-event
+// simulator of an asynchronous anytime pipeline: stages execute their
+// intermediate computations (passes), publish versioned snapshots, and
+// children re-run their pass sequences on whichever parent versions are
+// current — the same semantics as internal/core, with time advanced by a
+// cost model instead of a CPU. Allocation policies are evaluated against
+// the simulator.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// StageSpec models one anytime computation stage.
+type StageSpec struct {
+	// Name labels the stage.
+	Name string
+	// PassCosts are the sequential costs of the stage's intermediate
+	// computations f_1 … f_n, in arbitrary time units at one worker.
+	PassCosts []float64
+	// ParallelFrac is the fraction of each pass that scales with allocated
+	// workers (Amdahl's law); the remainder is sequential. In [0, 1].
+	ParallelFrac float64
+	// Deps are the indices of the stages this stage consumes (its parents
+	// in the DAG). Empty for source stages.
+	Deps []int
+}
+
+// Pipeline is a DAG of anytime stages. Stages must be topologically
+// ordered: every dependency index is smaller than the dependent's index.
+type Pipeline struct {
+	Stages []StageSpec
+}
+
+// Validate checks structural soundness.
+func (p Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("sched: empty pipeline")
+	}
+	for i, s := range p.Stages {
+		if len(s.PassCosts) == 0 {
+			return fmt.Errorf("sched: stage %q has no passes", s.Name)
+		}
+		for _, c := range s.PassCosts {
+			if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("sched: stage %q has invalid pass cost %v", s.Name, c)
+			}
+		}
+		if s.ParallelFrac < 0 || s.ParallelFrac > 1 || math.IsNaN(s.ParallelFrac) {
+			return fmt.Errorf("sched: stage %q parallel fraction %v out of [0,1]", s.Name, s.ParallelFrac)
+		}
+		for _, d := range s.Deps {
+			if d < 0 || d >= i {
+				return fmt.Errorf("sched: stage %q dependency %d is not an earlier stage", s.Name, d)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalCost returns the sum of all pass costs of stage i.
+func (p Pipeline) TotalCost(i int) float64 {
+	var sum float64
+	for _, c := range p.Stages[i].PassCosts {
+		sum += c
+	}
+	return sum
+}
+
+// Sink returns the index of the final stage (the one no other stage
+// depends on); with several candidates it returns the last.
+func (p Pipeline) Sink() int {
+	depended := make([]bool, len(p.Stages))
+	for _, s := range p.Stages {
+		for _, d := range s.Deps {
+			depended[d] = true
+		}
+	}
+	sink := len(p.Stages) - 1
+	for i := len(p.Stages) - 1; i >= 0; i-- {
+		if !depended[i] {
+			return i
+		}
+	}
+	return sink
+}
+
+// passTime is the modeled duration of one pass of cost c on w workers with
+// parallel fraction pf.
+func passTime(c, pf float64, w int) float64 {
+	if w < 1 {
+		w = 1
+	}
+	return c * ((1 - pf) + pf/float64(w))
+}

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Result is the outcome of simulating one allocation.
+type Result struct {
+	// Publishes[s] are the publish times of stage s's snapshots, in order.
+	Publishes [][]float64
+	// FirstOutput is the sink's first publish time — the paper's
+	// "time to reach the first approximate output O1111".
+	FirstOutput float64
+	// Final is the sink's final publish time (the precise output).
+	Final float64
+	// MeanGap is the mean time between consecutive sink outputs — the
+	// paper's "time between consecutive outputs O1111 and O1112".
+	MeanGap float64
+	// Work is the total executed pass cost across all stages (including
+	// the redundant re-passes of asynchronous children) — the model's
+	// energy proxy, invariant to how many workers sped each pass up.
+	Work float64
+}
+
+// stageState is the simulator's per-stage bookkeeping.
+type stageState struct {
+	// consumed[d] is the parent-version vector of the inputs pinned for
+	// the current (or last) pass cycle.
+	consumed []uint64
+	// consumedFinal reports whether every pinned parent input was final.
+	consumedFinal bool
+	pass          int  // next pass index within the current cycle
+	running       bool // a pass is in flight
+	done          bool
+	version       uint64 // versions published so far
+	final         bool   // published its final (precise) snapshot
+}
+
+type event struct {
+	time  float64
+	seq   int // tiebreaker for determinism
+	stage int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *eventQueue) push(e event) { heap.Push(q, e) }
+func (q *eventQueue) pop() (event, bool) {
+	if q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}
+
+// Simulate runs the pipeline under the given worker allocation (one entry
+// per stage, each >= 1) and returns the publish schedule. The semantics
+// mirror internal/core's asynchronous pipeline: a child pins the newest
+// version of each parent, runs its pass sequence publishing after each
+// pass, then re-pins if anything newer appeared; its last pass over final
+// parent inputs publishes its own final snapshot.
+func Simulate(p Pipeline, alloc []int) (Result, error) {
+	if len(alloc) != len(p.Stages) {
+		return Result{}, fmt.Errorf("sched: allocation has %d entries for %d stages", len(alloc), len(p.Stages))
+	}
+	for i, w := range alloc {
+		if w < 1 {
+			return Result{}, fmt.Errorf("sched: stage %q allocated %d workers", p.Stages[i].Name, w)
+		}
+	}
+	return simulate(p, func(i, running int) int { return alloc[i] })
+}
+
+// SimulateDynamic models the fine-grained thread reassignment the paper
+// leaves as future work ("it may be beneficial to reassign threads among
+// stages dynamically", §IV-C2): at every pass start, the total worker
+// budget is split evenly among the stages active at that instant, so an
+// automaton whose pipeline has drained to a single stage hands that stage
+// the whole machine.
+func SimulateDynamic(p Pipeline, total int) (Result, error) {
+	if total < 1 {
+		return Result{}, fmt.Errorf("sched: dynamic budget %d must be positive", total)
+	}
+	return simulate(p, func(i, running int) int {
+		w := total / (running + 1) // +1: the stage about to start
+		if w < 1 {
+			w = 1
+		}
+		return w
+	})
+}
+
+// simulate is the engine shared by static and dynamic allocation;
+// workersFor(i, running) returns the workers stage i receives when it
+// starts a pass while `running` other stages have passes in flight.
+func simulate(p Pipeline, workersFor func(i, running int) int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	n := len(p.Stages)
+	states := make([]stageState, n)
+	children := make([][]int, n)
+	for i, s := range p.Stages {
+		states[i] = stageState{consumed: make([]uint64, len(s.Deps))}
+		for _, d := range s.Deps {
+			children[d] = append(children[d], i)
+		}
+	}
+	publishes := make([][]float64, n)
+	var work float64
+
+	var q eventQueue
+	seq := 0
+	runningCount := func() int {
+		c := 0
+		for i := range states {
+			if states[i].running {
+				c++
+			}
+		}
+		return c
+	}
+	schedulePass := func(now float64, i int) {
+		s := &states[i]
+		spec := p.Stages[i]
+		w := workersFor(i, runningCount())
+		d := passTime(spec.PassCosts[s.pass], spec.ParallelFrac, w)
+		work += spec.PassCosts[s.pass]
+		s.running = true
+		seq++
+		q.push(event{time: now + d, seq: seq, stage: i})
+	}
+
+	// tryStart pins fresh inputs and begins a pass cycle if the stage is
+	// idle and new input is available (sources always have "new input"
+	// until their single cycle is done).
+	tryStart := func(now float64, i int) {
+		s := &states[i]
+		if s.running || s.done {
+			return
+		}
+		spec := p.Stages[i]
+		if len(spec.Deps) == 0 {
+			// Sources run exactly one pass cycle.
+			schedulePass(now, i)
+			return
+		}
+		fresh := false
+		allHave := true
+		allFinal := true
+		for k, d := range spec.Deps {
+			pv := states[d].version
+			if pv == 0 {
+				allHave = false
+				break
+			}
+			if pv > s.consumed[k] {
+				fresh = true
+			}
+			if !states[d].final {
+				allFinal = false
+			}
+		}
+		if !allHave || !fresh {
+			return
+		}
+		for k, d := range spec.Deps {
+			s.consumed[k] = states[d].version
+		}
+		s.consumedFinal = allFinal
+		s.pass = 0
+		schedulePass(now, i)
+	}
+
+	// Seed the sources.
+	for i, s := range p.Stages {
+		if len(s.Deps) == 0 {
+			tryStart(0, i)
+		}
+	}
+
+	for {
+		e, ok := q.pop()
+		if !ok {
+			break
+		}
+		i := e.stage
+		s := &states[i]
+		spec := p.Stages[i]
+		s.running = false
+		s.pass++
+		s.version++
+		lastPass := s.pass == len(spec.PassCosts)
+		isSource := len(spec.Deps) == 0
+		if lastPass && (isSource || s.consumedFinal) {
+			s.final = true
+			s.done = true
+		}
+		publishes[i] = append(publishes[i], e.time)
+
+		// Wake children on the new version.
+		for _, ch := range children[i] {
+			tryStart(e.time, ch)
+		}
+		if s.done {
+			continue
+		}
+		if !lastPass {
+			schedulePass(e.time, i)
+			continue
+		}
+		// Cycle complete on non-final inputs: re-pin if anything newer.
+		tryStart(e.time, i)
+	}
+
+	sink := p.Sink()
+	if states[sink].version == 0 || !states[sink].final {
+		return Result{}, fmt.Errorf("sched: sink %q never reached its final output (deadlocked pipeline?)", p.Stages[sink].Name)
+	}
+	res := Result{Publishes: publishes, Work: work}
+	sp := publishes[sink]
+	res.FirstOutput = sp[0]
+	res.Final = sp[len(sp)-1]
+	if len(sp) > 1 {
+		var gaps float64
+		for i := 1; i < len(sp); i++ {
+			gaps += sp[i] - sp[i-1]
+		}
+		res.MeanGap = gaps / float64(len(sp)-1)
+	} else {
+		res.MeanGap = math.Inf(1)
+	}
+	return res, nil
+}

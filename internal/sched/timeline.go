@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Timeline renders the simulated publish schedule as one row per stage —
+// the Figure 2 layout: '·' marks an intermediate publish and '#' a stage's
+// last publish, against a time axis of the given character width.
+func (r Result) Timeline(w io.Writer, p Pipeline, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if len(r.Publishes) != len(p.Stages) {
+		return fmt.Errorf("sched: result has %d stages, pipeline %d", len(r.Publishes), len(p.Stages))
+	}
+	span := r.Final
+	for _, pubs := range r.Publishes {
+		for _, t := range pubs {
+			if t > span {
+				span = t
+			}
+		}
+	}
+	if span <= 0 {
+		span = 1
+	}
+	nameWidth := 0
+	for _, s := range p.Stages {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "simulated timeline over %.2f units ('·' publish, '#' last):\n", span); err != nil {
+		return err
+	}
+	for i, s := range p.Stages {
+		cells := []rune(strings.Repeat(" ", width))
+		pubs := r.Publishes[i]
+		for j, t := range pubs {
+			pos := int(t / span * float64(width-1))
+			if pos < 0 {
+				pos = 0
+			}
+			if pos >= width {
+				pos = width - 1
+			}
+			mark := '·'
+			if j == len(pubs)-1 {
+				mark = '#'
+			}
+			if cells[pos] != '#' {
+				cells[pos] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s|\n", nameWidth, s.Name, string(cells)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DecayArray models low-refresh DRAM (the paper cites Flikker's
+// critical-data partitioning, §III-B1): instead of read-triggered upsets,
+// bits decay over *retention time*. Lengthening the refresh interval saves
+// refresh power but lets each bit flip with a probability that grows with
+// the time since its last refresh.
+//
+// The model is virtual-time driven for determinism: the caller advances the
+// clock explicitly (Advance), and each Refresh restores the precise
+// contents, exactly as a DRAM refresh rewrites cells before they decay.
+// The per-bit flip probability over an interval d is
+// 1 - exp(-d/RetentionScale), with RetentionScale the characteristic
+// retention constant of the weakened cells.
+type DecayArray struct {
+	data     []int32
+	shadow   []int32 // last refreshed (precise) contents
+	dataBits uint
+	scale    time.Duration
+	rng      xorshift64
+
+	sinceRefresh time.Duration
+	pending      time.Duration // advanced time not yet materialized as decay
+	flips        uint64
+}
+
+// NewDecayArray returns a decaying array initialized (and refreshed) with
+// init. dataBits (1..32) is the stored word width; retentionScale is the
+// characteristic decay constant (larger = more reliable cells).
+func NewDecayArray(init []int32, dataBits uint, retentionScale time.Duration, seed uint64) (*DecayArray, error) {
+	if dataBits < 1 || dataBits > 32 {
+		return nil, fmt.Errorf("store: dataBits %d out of range [1,32]", dataBits)
+	}
+	if retentionScale <= 0 {
+		return nil, fmt.Errorf("store: retention scale %v must be positive", retentionScale)
+	}
+	return &DecayArray{
+		data:     append([]int32(nil), init...),
+		shadow:   append([]int32(nil), init...),
+		dataBits: dataBits,
+		scale:    retentionScale,
+		rng:      newXorshift64(seed),
+	}, nil
+}
+
+// Len reports the number of words stored.
+func (d *DecayArray) Len() int { return len(d.data) }
+
+// Flips reports the total bit decays injected so far.
+func (d *DecayArray) Flips() uint64 { return d.flips }
+
+// SinceRefresh reports the virtual time elapsed since the last refresh.
+func (d *DecayArray) SinceRefresh() time.Duration { return d.sinceRefresh }
+
+// Advance moves the virtual clock forward. Decay for the accumulated
+// interval is materialized lazily at the next Read.
+func (d *DecayArray) Advance(dt time.Duration) error {
+	if dt < 0 {
+		return fmt.Errorf("store: negative time advance %v", dt)
+	}
+	if dt > 0 {
+		d.sinceRefresh += dt
+		d.pending += dt
+	}
+	return nil
+}
+
+// Refresh rewrites every cell from the shadow copy and resets the decay
+// clock — one DRAM refresh cycle.
+func (d *DecayArray) Refresh() {
+	copy(d.data, d.shadow)
+	d.sinceRefresh = 0
+	d.pending = 0
+}
+
+// Write stores v reliably (writes refresh the written cell).
+func (d *DecayArray) Write(i int, v int32) {
+	d.data[i] = v
+	d.shadow[i] = v
+}
+
+// Read returns word i after materializing any pending decay.
+func (d *DecayArray) Read(i int) int32 {
+	d.materialize()
+	return d.data[i]
+}
+
+// materialize applies the decay accumulated since the last materialization
+// to the whole array (cells decay whether or not they are read). Each
+// materialized interval flips bits independently; intervals compose by XOR.
+func (d *DecayArray) materialize() {
+	if d.pending <= 0 || len(d.data) == 0 {
+		return
+	}
+	p := 1 - math.Exp(-float64(d.pending)/float64(d.scale))
+	d.pending = 0
+	if p <= 0 {
+		return
+	}
+	totalBits := uint64(len(d.data)) * uint64(d.dataBits)
+	// Geometric skipping over the bit space, as in Array.
+	pos := d.geometric(p)
+	for pos < totalBits {
+		word := int(pos / uint64(d.dataBits))
+		bit := pos % uint64(d.dataBits)
+		d.data[word] ^= 1 << bit
+		d.flips++
+		pos += 1 + d.geometric(p)
+	}
+}
+
+func (d *DecayArray) geometric(p float64) uint64 {
+	if p >= 1 {
+		return 0
+	}
+	u := d.rng.float64()
+	for u == 0 {
+		u = d.rng.float64()
+	}
+	g := math.Log(u) / math.Log1p(-p)
+	if g < 0 {
+		return 0
+	}
+	if g > 1e18 {
+		return uint64(1e18)
+	}
+	return uint64(g)
+}

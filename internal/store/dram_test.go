@@ -1,0 +1,176 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewDecayArrayValidation(t *testing.T) {
+	if _, err := NewDecayArray(nil, 0, time.Second, 1); err == nil {
+		t.Error("dataBits=0 accepted")
+	}
+	if _, err := NewDecayArray(nil, 33, time.Second, 1); err == nil {
+		t.Error("dataBits=33 accepted")
+	}
+	if _, err := NewDecayArray(nil, 8, 0, 1); err == nil {
+		t.Error("zero retention scale accepted")
+	}
+	if _, err := NewDecayArray(nil, 8, -time.Second, 1); err == nil {
+		t.Error("negative retention scale accepted")
+	}
+}
+
+func TestDecayNoTimeNoFlips(t *testing.T) {
+	init := seq(1000)
+	d, err := NewDecayArray(init, 8, time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if d.Read(i) != init[i] {
+			t.Fatalf("read[%d] changed without time advancing", i)
+		}
+	}
+	if d.Flips() != 0 {
+		t.Errorf("flips = %d", d.Flips())
+	}
+}
+
+func TestDecayAdvanceValidation(t *testing.T) {
+	d, _ := NewDecayArray(seq(4), 8, time.Second, 1)
+	if err := d.Advance(-time.Second); err == nil {
+		t.Error("negative advance accepted")
+	}
+}
+
+func TestDecayFlipsAccumulateWithTime(t *testing.T) {
+	init := seq(1 << 14)
+	d, err := NewDecayArray(init, 8, time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d.Read(0)
+	short := d.Flips()
+	if short == 0 {
+		t.Fatal("no decay after 10ms at 1s retention over 128Ki bits")
+	}
+	if err := d.Advance(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	d.Read(0)
+	long := d.Flips()
+	if long <= short*2 {
+		t.Errorf("decay did not accelerate with retention time: %d then %d", short, long)
+	}
+	if d.SinceRefresh() != 510*time.Millisecond {
+		t.Errorf("SinceRefresh = %v", d.SinceRefresh())
+	}
+}
+
+func TestDecayRefreshRestoresPrecision(t *testing.T) {
+	init := seq(1 << 12)
+	d, err := NewDecayArray(init, 8, 100*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for i := range init {
+		if d.Read(i) != init[i] {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corruption after 10 retention constants")
+	}
+	d.Refresh()
+	for i := range init {
+		if d.Read(i) != init[i] {
+			t.Fatalf("read[%d] wrong after refresh", i)
+		}
+	}
+	if d.SinceRefresh() != 0 {
+		t.Error("refresh did not reset the clock")
+	}
+}
+
+func TestDecayWriteRefreshesCell(t *testing.T) {
+	d, err := NewDecayArray(seq(16), 8, time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Write(3, 99)
+	if d.Read(3) != 99 {
+		t.Error("write not visible")
+	}
+	d.Refresh()
+	if d.Read(3) != 99 {
+		t.Error("refresh lost the written value")
+	}
+	if d.Len() != 16 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+// TestDecayNoDoubleCounting: advancing in two half-intervals must inject a
+// statistically similar number of flips as one full interval, not double
+// (a regression test for decay re-application).
+func TestDecayNoDoubleCounting(t *testing.T) {
+	run := func(split bool) uint64 {
+		d, err := NewDecayArray(seq(1<<15), 8, time.Second, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if split {
+			for k := 0; k < 10; k++ {
+				if err := d.Advance(10 * time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+				d.Read(0) // materialize each slice
+			}
+		} else {
+			if err := d.Advance(100 * time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			d.Read(0)
+		}
+		return d.Flips()
+	}
+	whole := run(false)
+	sliced := run(true)
+	if whole == 0 || sliced == 0 {
+		t.Fatalf("degenerate flip counts: %d %d", whole, sliced)
+	}
+	ratio := float64(sliced) / float64(whole)
+	if ratio > 1.5 || ratio < 0.6 {
+		t.Errorf("sliced/whole flip ratio %v; decay intervals double-counted?", ratio)
+	}
+}
+
+func TestDecayDeterministicSeeds(t *testing.T) {
+	run := func(seed uint64) []int32 {
+		d, err := NewDecayArray(seq(512), 8, 50*time.Millisecond, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Advance(100 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int32, 512)
+		for i := range out {
+			out[i] = d.Read(i)
+		}
+		return out
+	}
+	a, b := run(4), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace records the observable events of a running anytime
+// automaton — snapshot publishes per buffer — and renders them as an ASCII
+// timeline in the style of the paper's Figure 2, where each stage's
+// intermediate outputs line up against wall time. It is pure observation:
+// tracers attach through buffer observers and never perturb scheduling
+// beyond the cost of a timestamp.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"anytime/internal/core"
+)
+
+// Event is one recorded publish.
+type Event struct {
+	Buffer  string
+	At      time.Duration
+	Version core.Version
+	Final   bool
+}
+
+// Tracer collects events from any number of buffers.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+}
+
+// New returns an empty tracer. Call Start immediately before starting the
+// automaton.
+func New() *Tracer { return &Tracer{start: time.Now()} }
+
+// Start (re)sets the timeline origin.
+func (t *Tracer) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.start = time.Now()
+	t.events = t.events[:0]
+}
+
+// Attach registers the tracer as buf's publish observer. It must be called
+// before the automaton starts, and at most one observer per buffer is
+// supported (Attach replaces any previous one).
+func Attach[T any](t *Tracer, buf *core.Buffer[T]) {
+	name := buf.Name()
+	buf.OnPublish(func(s core.Snapshot[T]) {
+		t.record(Event{Buffer: name, Version: s.Version, Final: s.Final})
+	})
+}
+
+func (t *Tracer) record(e Event) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.At = now.Sub(t.start)
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Timeline renders the recorded events as one row per buffer: '·' marks an
+// intermediate publish, '#' the final one, over a time axis of the given
+// width in characters. Rows are ordered by each buffer's first publish.
+func (t *Tracer) Timeline(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	events := t.Events()
+	if len(events) == 0 {
+		_, err := fmt.Fprintln(w, "(no events)")
+		return err
+	}
+	span := events[len(events)-1].At
+	for _, e := range events {
+		if e.At > span {
+			span = e.At
+		}
+	}
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	type row struct {
+		name  string
+		first time.Duration
+		cells []rune
+	}
+	rows := map[string]*row{}
+	var order []*row
+	nameWidth := 0
+	for _, e := range events {
+		r, ok := rows[e.Buffer]
+		if !ok {
+			r = &row{name: e.Buffer, first: e.At, cells: []rune(strings.Repeat(" ", width))}
+			rows[e.Buffer] = r
+			order = append(order, r)
+			if len(e.Buffer) > nameWidth {
+				nameWidth = len(e.Buffer)
+			}
+		}
+		pos := int(float64(e.At) / float64(span) * float64(width-1))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= width {
+			pos = width - 1
+		}
+		mark := '·'
+		if e.Final {
+			mark = '#'
+		}
+		// Final marks win collisions; otherwise keep the densest mark.
+		if r.cells[pos] != '#' {
+			r.cells[pos] = mark
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].first < order[j].first })
+	if _, err := fmt.Fprintf(w, "timeline over %v ('·' publish, '#' final):\n", span.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, r := range order {
+		if _, err := fmt.Fprintf(w, "  %-*s |%s|\n", nameWidth, r.name, string(r.cells)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns per-buffer publish counts and final-publish times.
+func (t *Tracer) Summary() map[string]BufferSummary {
+	out := map[string]BufferSummary{}
+	for _, e := range t.Events() {
+		s := out[e.Buffer]
+		s.Publishes++
+		s.Last = e.At
+		if s.Publishes == 1 {
+			s.First = e.At
+		}
+		if e.Final {
+			s.Final = e.At
+			s.Finalized = true
+		}
+		out[e.Buffer] = s
+	}
+	return out
+}
+
+// BufferSummary aggregates one buffer's publish activity.
+type BufferSummary struct {
+	Publishes int
+	First     time.Duration
+	Last      time.Duration
+	Final     time.Duration
+	Finalized bool
+}

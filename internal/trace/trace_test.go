@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"anytime/internal/core"
+)
+
+func TestTracerRecordsPublishes(t *testing.T) {
+	tr := New()
+	buf := core.NewBuffer[int]("stage-a", nil)
+	Attach(tr, buf)
+	tr.Start()
+	a := core.New()
+	if err := a.AddStage("s", func(c *core.Context) error {
+		for i := 1; i <= 5; i++ {
+			if _, err := buf.Publish(i, i == 5); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 5 {
+		t.Fatalf("%d events", len(events))
+	}
+	for i, e := range events {
+		if e.Buffer != "stage-a" || e.Version != core.Version(i+1) {
+			t.Errorf("event %d = %+v", i, e)
+		}
+		if e.Final != (i == 4) {
+			t.Errorf("event %d final = %v", i, e.Final)
+		}
+		if i > 0 && e.At < events[i-1].At {
+			t.Error("event times not monotone")
+		}
+	}
+	sum := tr.Summary()["stage-a"]
+	if sum.Publishes != 5 || !sum.Finalized {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.First > sum.Final {
+		t.Error("first publish after final")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := New()
+	tr.mu.Lock()
+	tr.events = []Event{
+		{Buffer: "f", At: 0, Version: 1},
+		{Buffer: "f", At: 50 * time.Millisecond, Version: 2, Final: true},
+		{Buffer: "g", At: 25 * time.Millisecond, Version: 1},
+		{Buffer: "g", At: 100 * time.Millisecond, Version: 2, Final: true},
+	}
+	tr.mu.Unlock()
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines: %q", out)
+	}
+	if !strings.Contains(lines[1], "f") || !strings.Contains(lines[2], "g") {
+		t.Errorf("row order wrong:\n%s", out)
+	}
+	rows := strings.Join(lines[1:], "\n") // skip the legend line
+	if strings.Count(rows, "#") != 2 {
+		t.Errorf("want 2 final marks:\n%s", out)
+	}
+	if strings.Count(rows, "·") != 2 {
+		t.Errorf("want 2 intermediate marks:\n%s", out)
+	}
+	// g's final mark must be at the right edge (latest event).
+	gRow := lines[2]
+	if !strings.HasSuffix(strings.TrimRight(gRow, "|"), "#") {
+		t.Errorf("g's final not at the right edge: %q", gRow)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Timeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no events") {
+		t.Errorf("empty timeline = %q", buf.String())
+	}
+}
+
+func TestTimelineNarrowWidthClamped(t *testing.T) {
+	tr := New()
+	tr.mu.Lock()
+	tr.events = []Event{{Buffer: "x", At: time.Millisecond, Version: 1, Final: true}}
+	tr.mu.Unlock()
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("clamped timeline lost the event")
+	}
+}
+
+func TestTracerMultiBufferPipeline(t *testing.T) {
+	tr := New()
+	fBuf := core.NewBuffer[int]("f", nil)
+	gBuf := core.NewBuffer[int]("g", nil)
+	Attach(tr, fBuf)
+	Attach(tr, gBuf)
+	tr.Start()
+	a := core.New()
+	if err := a.AddStage("f", func(c *core.Context) error {
+		return core.Iterative(c, fBuf, []func() (int, error){
+			func() (int, error) { return 1, nil },
+			func() (int, error) { return 2, nil },
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddStage("g", func(c *core.Context) error {
+		return core.AsyncConsume(c, fBuf, func(s core.Snapshot[int]) error {
+			_, err := gBuf.Publish(s.Value*10, s.Final)
+			return err
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summary()
+	if !sum["f"].Finalized || !sum["g"].Finalized {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum["g"].Final < sum["f"].Final {
+		t.Error("child finalized before parent")
+	}
+}

@@ -1,0 +1,23 @@
+package anytime
+
+import "anytime/internal/metrics"
+
+// InfDB is the SNR of a bit-exact output: +Inf decibels (the paper's
+// "∞ dB is perfect accuracy").
+var InfDB = metrics.InfDB
+
+// SNR returns the signal-to-noise ratio in decibels of approx relative to
+// ref, the paper's accuracy metric; +Inf for a bit-exact match.
+func SNR(ref, approx []int32) (float64, error) { return metrics.SNR(ref, approx) }
+
+// PSNR returns the peak signal-to-noise ratio in decibels for signals with
+// the given maximum value.
+func PSNR(ref, approx []int32, peak int32) (float64, error) {
+	return metrics.PSNR(ref, approx, peak)
+}
+
+// MSE returns the mean squared error between ref and approx.
+func MSE(ref, approx []int32) (float64, error) { return metrics.MSE(ref, approx) }
+
+// FormatDB renders a decibel value, printing "inf" for perfect accuracy.
+func FormatDB(db float64) string { return metrics.FormatDB(db) }

@@ -1,0 +1,35 @@
+package anytime
+
+import (
+	"io"
+
+	"anytime/internal/core"
+	"anytime/internal/trace"
+)
+
+// Tracer records the publish events of any number of buffers and renders
+// them as an ASCII timeline (the layout of the paper's Figure 2). Pure
+// observation: it never perturbs the pipeline beyond a timestamp.
+type Tracer = trace.Tracer
+
+// TraceEvent is one recorded publish.
+type TraceEvent = trace.Event
+
+// NewTracer returns an empty tracer; call its Start immediately before
+// starting the automaton.
+func NewTracer() *Tracer { return trace.New() }
+
+// TraceBuffer registers the tracer as buf's publish observer. Call before
+// the automaton starts; at most one observer per buffer.
+func TraceBuffer[T any](t *Tracer, buf *Buffer[T]) { trace.Attach(t, buf) }
+
+// GraphBuilder declares an automaton as an explicit dataflow DAG and
+// validates the model's structural properties (single writer per buffer,
+// acyclicity) before construction.
+type GraphBuilder = core.GraphBuilder
+
+// NewGraph returns an empty graph builder.
+func NewGraph() *GraphBuilder { return core.NewGraph() }
+
+// WriteTimeline renders the tracer's events to w with the given width.
+func WriteTimeline(t *Tracer, w io.Writer, width int) error { return t.Timeline(w, width) }
