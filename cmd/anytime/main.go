@@ -7,6 +7,7 @@
 //	anytime -app conv2d|histeq|dwt53|debayer|kmeans
 //	        [-size N] [-workers N] [-seed N]
 //	        [-halt FRACTION] [-in image.pgm] [-out image.pgm]
+//	        [-telemetry] [-curve curve.json]
 //
 // The tool measures the precise baseline, starts the automaton, halts it at
 // the requested fraction of the baseline runtime (1.0 or more lets it run
@@ -14,6 +15,12 @@
 // optionally writes it as a PGM/PPM file. With -in, a user-supplied binary
 // PGM image replaces the synthetic input (conv2d, histeq, dwt53; debayer
 // treats it as a Bayer mosaic).
+//
+// -telemetry attaches the runtime metrics registry (the same instruments
+// anytimed exposes at /metrics) and dumps a summary table on exit. -curve
+// records the run's accuracy-versus-time samples, writes them as JSON, and
+// prints the ASCII runtime–accuracy plot the harness draws for the paper's
+// §V figures.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"anytime/internal/harness"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/telemetry"
 	"anytime/internal/trace"
 )
 
@@ -43,12 +51,14 @@ func main() {
 	halt := flag.Float64("halt", 1.0, "halt after this fraction of the baseline runtime (>=1 runs to precise)")
 	accept := flag.Float64("accept", 0, "stop automatically once output SNR reaches this many dB (0 disables)")
 	showTrace := flag.Bool("trace", false, "print an ASCII publish timeline after the run")
+	showTelemetry := flag.Bool("telemetry", false, "attach the metrics registry and dump a summary table on exit")
+	curvePath := flag.String("curve", "", "record the accuracy-vs-time curve, write it as JSON here, and print its plot")
 	inPath := flag.String("in", "", "input PGM/PPM file (optional; synthetic input otherwise)")
 	outPath := flag.String("out", "", "write the halted output image here (optional)")
 	diffPath := flag.String("diff", "", "write an error heat image (|precise - output| x8) here (optional)")
 	flag.Parse()
 
-	if err := run(*app, *size, *workers, *seed, *halt, *accept, *inPath, *outPath, *diffPath, *showTrace); err != nil {
+	if err := run(*app, *size, *workers, *seed, *halt, *accept, *inPath, *outPath, *diffPath, *showTrace, *showTelemetry, *curvePath); err != nil {
 		fmt.Fprintln(os.Stderr, "anytime:", err)
 		os.Exit(1)
 	}
@@ -62,7 +72,7 @@ type appRun struct {
 	out      *core.Buffer[*pix.Image]
 }
 
-func run(app string, size, workers int, seed uint64, halt, accept float64, inPath, outPath, diffPath string, showTrace bool) error {
+func run(app string, size, workers int, seed uint64, halt, accept float64, inPath, outPath, diffPath string, showTrace, showTelemetry bool, curvePath string) error {
 	ar, err := build(app, size, workers, seed, inPath)
 	if err != nil {
 		return err
@@ -72,6 +82,17 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 		tr = trace.New()
 		trace.Attach(tr, ar.out)
 	}
+	var reg *telemetry.Registry
+	if showTelemetry {
+		reg = telemetry.NewRegistry()
+		ar.automa.SetHooks(telemetry.PipelineHooks(reg))
+		telemetry.ObserveBuffer(reg, ar.out)
+	}
+	var rec *telemetry.AccuracyRecorder
+	if curvePath != "" {
+		rec = telemetry.NewAccuracyRecorder(ar.ref)
+		telemetry.ObserveAccuracy(rec, ar.out)
+	}
 	baseline, err := harness.TimeBaseline(ar.baseline, 3)
 	if err != nil {
 		return err
@@ -79,6 +100,9 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 	fmt.Printf("baseline precise runtime: %v\n", baseline)
 	if tr != nil {
 		tr.Start()
+	}
+	if rec != nil {
+		rec.Begin()
 	}
 
 	var snap core.Snapshot[*pix.Image]
@@ -146,7 +170,52 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 			return err
 		}
 	}
+	if rec != nil {
+		f, err := os.Create(curvePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", curvePath)
+		// The recorder feeds the same Profile type the harness plots the
+		// paper's §V figures from — one code path for live and offline.
+		profile, err := rec.Profile(app, baseline)
+		if err != nil {
+			return err
+		}
+		if err := profile.Plot(os.Stdout, 72, 12); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		// The automaton-finish hook fires on the supervisor goroutine just
+		// after Done closes; give the lifecycle counters a moment to settle
+		// so the summary reports the finished run.
+		awaitIdle(reg, 500*time.Millisecond)
+		fmt.Println("telemetry summary:")
+		if err := reg.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// awaitIdle polls until the registry's active-automata gauge drains to zero
+// or the budget elapses.
+func awaitIdle(reg *telemetry.Registry, budget time.Duration) {
+	deadline := time.Now().Add(budget)
+	for reg.Gauge(telemetry.MetricAutomataActive, nil).Value() != 0 {
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func build(app string, size, workers int, seed uint64, inPath string) (*appRun, error) {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -9,14 +11,14 @@ import (
 
 func TestRunEveryAppPrecise(t *testing.T) {
 	for _, app := range []string{"conv2d", "histeq", "dwt53", "debayer", "kmeans"} {
-		if err := run(app, 32, 2, 1, 1.0, 0, "", "", "", false); err != nil {
+		if err := run(app, 32, 2, 1, 1.0, 0, "", "", "", false, false, ""); err != nil {
 			t.Errorf("%s: %v", app, err)
 		}
 	}
 }
 
 func TestRunHalted(t *testing.T) {
-	if err := run("conv2d", 96, 2, 1, 0.3, 0, "", "", "", false); err != nil {
+	if err := run("conv2d", 96, 2, 1, 0.3, 0, "", "", "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,7 +27,8 @@ func TestRunWithAcceptAndOutputs(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "out.pgm")
 	diff := filepath.Join(dir, "diff.pgm")
-	if err := run("conv2d", 64, 2, 1, 1.0, 10, "", out, diff, true); err != nil {
+	curve := filepath.Join(dir, "curve.json")
+	if err := run("conv2d", 64, 2, 1, 1.0, 10, "", out, diff, true, true, curve); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := pix.ReadPNMFile(out); err != nil {
@@ -33,6 +36,17 @@ func TestRunWithAcceptAndOutputs(t *testing.T) {
 	}
 	if _, err := pix.ReadPNMFile(diff); err != nil {
 		t.Errorf("diff image unreadable: %v", err)
+	}
+	raw, err := os.ReadFile(curve)
+	if err != nil {
+		t.Fatalf("curve file unreadable: %v", err)
+	}
+	var samples []map[string]any
+	if err := json.Unmarshal(raw, &samples); err != nil {
+		t.Fatalf("curve file not a JSON array: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Error("curve file recorded no samples")
 	}
 }
 
@@ -46,13 +60,13 @@ func TestRunWithUserInput(t *testing.T) {
 	if err := pix.WritePNMFile(in, img); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("conv2d", 0, 2, 1, 1.0, 0, in, "", "", false); err != nil {
+	if err := run("conv2d", 0, 2, 1, 1.0, 0, in, "", "", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownApp(t *testing.T) {
-	if err := run("nope", 16, 1, 1, 1.0, 0, "", "", "", false); err == nil {
+	if err := run("nope", 16, 1, 1, 1.0, 0, "", "", "", false, false, ""); err == nil {
 		t.Error("unknown app accepted")
 	}
 }

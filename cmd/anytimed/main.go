@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	anytimed [-addr :8080] [-size 256] [-workers 2]
+//	anytimed [-addr :8080] [-size 256] [-workers 2] [-pprof]
 //
 // Endpoints (all return binary PGM/PPM with X-Anytime-* headers):
 //
@@ -16,6 +16,16 @@
 //	GET /cluster?hold=100ms    k-means clustering, same knobs
 //
 // Omitting both hold and accept returns the precise output.
+//
+// Operational endpoints:
+//
+//	GET /metrics               Prometheus text exposition: per-stage
+//	                           checkpoint latency, per-buffer publish
+//	                           counts and version watermarks, HTTP request
+//	                           counts/latency, in-flight gauges
+//	GET /debug/vars            the same registry as expvar JSON
+//	GET /healthz               liveness probe
+//	GET /debug/pprof/          runtime profiler (only with -pprof)
 package main
 
 import (
@@ -31,9 +41,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 256, "synthetic image side length")
 	workers := flag.Int("workers", 2, "workers per stage")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	srv, err := newServer(*size, *workers)
+	srv, err := newServer(*size, *workers, serverConfig{pprof: *pprofOn})
 	if err != nil {
 		log.Fatal(err)
 	}

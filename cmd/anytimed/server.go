@@ -13,6 +13,7 @@ import (
 	"anytime/internal/core"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/telemetry"
 )
 
 // server holds the prepared inputs and precise references so request
@@ -25,6 +26,14 @@ type server struct {
 	// oversubscribe the machine.
 	sem chan struct{}
 
+	// reg is the process metrics registry; every request's pipeline
+	// reports into it through hooks (shared across all automata) and
+	// per-buffer observers. slotsInUse mirrors the sem semaphore so the
+	// concurrency bound is visible at /metrics.
+	reg        *telemetry.Registry
+	hooks      *core.Hooks
+	slotsInUse *telemetry.Gauge
+
 	grayIn  *pix.Image
 	rgbIn   *pix.Image
 	blurRef *pix.Image
@@ -32,7 +41,12 @@ type server struct {
 	kmRef   *pix.Image
 }
 
-func newServer(size, workers int) (*server, error) {
+// serverConfig carries the operational knobs from main.
+type serverConfig struct {
+	pprof bool
+}
+
+func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	gray, err := pix.SyntheticGray(size, size, 1)
 	if err != nil {
 		return nil, err
@@ -41,12 +55,16 @@ func newServer(size, workers int) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := telemetry.NewRegistry()
 	s := &server{
-		mux:     http.NewServeMux(),
-		workers: workers,
-		sem:     make(chan struct{}, 8),
-		grayIn:  gray,
-		rgbIn:   rgb,
+		mux:        http.NewServeMux(),
+		workers:    workers,
+		sem:        make(chan struct{}, 8),
+		reg:        reg,
+		hooks:      telemetry.PipelineHooks(reg),
+		slotsInUse: reg.Gauge(metricSlotsInUse, nil),
+		grayIn:     gray,
+		rgbIn:      rgb,
 	}
 	if s.blurRef, err = conv2d.Precise(gray, conv2d.Config{Workers: workers}); err != nil {
 		return nil, err
@@ -57,23 +75,24 @@ func newServer(size, workers int) (*server, error) {
 	if s.kmRef, err = kmeans.Precise(rgb, kmeans.Config{Workers: workers}); err != nil {
 		return nil, err
 	}
-	s.mux.HandleFunc("GET /blur", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	s.handle("GET /blur", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		h, err := newConv2D(s)
 		return h.a, h.out, s.blurRef, err
 	}))
-	s.mux.HandleFunc("GET /equalize", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	s.handle("GET /equalize", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		run, err := histeq.New(s.grayIn, histeq.Config{Workers: s.workers})
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		return run.Automaton, run.Out, s.eqRef, nil
 	}))
-	s.mux.HandleFunc("GET /cluster", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	s.handle("GET /cluster", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		h, err := newKmeans(s)
 		return h.a, h.out, s.kmRef, err
 	}))
 	s.registerStreams()
-	s.mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+	s.registerOps(cfg.pprof)
+	s.handle("GET /", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -85,9 +104,22 @@ func newServer(size, workers int) (*server, error) {
 		fmt.Fprintln(w, "  GET /cluster?hold=100ms  k-means clustering")
 		fmt.Fprintln(w, "  GET /blur/stream         live SSE: watch quality rise per version")
 		fmt.Fprintln(w, "  GET /cluster/stream      live SSE for k-means")
+		fmt.Fprintln(w, "  GET /metrics             Prometheus exposition (stages, buffers, HTTP)")
+		fmt.Fprintln(w, "  GET /debug/vars          expvar JSON view of the same registry")
+		fmt.Fprintln(w, "  GET /healthz             liveness probe")
 		fmt.Fprintln(w, "no knob: precise output")
 	})
 	return s, nil
+}
+
+// instrument attaches the server's shared telemetry to one freshly built
+// request pipeline: lifecycle/checkpoint hooks plus a publish observer on
+// the output buffer. Buffer names recur across requests (every /blur run
+// publishes to the same-named buffer), so the series accumulate per route's
+// pipeline rather than per request.
+func (s *server) instrument(a *core.Automaton, out *core.Buffer[*pix.Image]) {
+	a.SetHooks(s.hooks)
+	telemetry.ObserveBuffer(s.reg, out)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -111,6 +143,7 @@ func (s *server) handleApp(build func() (*core.Automaton, *core.Buffer[*pix.Imag
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		s.instrument(a, out)
 		start := time.Now()
 		var snap core.Snapshot[*pix.Image]
 		switch {
@@ -205,13 +238,20 @@ func newKmeans(s *server) (appHandles, error) {
 }
 
 // acquire takes a concurrency slot, giving up when the client goes away.
+// The slotsInUse gauge mirrors the semaphore's occupancy so the bound is
+// observable at /metrics.
 func (s *server) acquire(r *http.Request) bool {
 	select {
 	case s.sem <- struct{}{}:
+		s.slotsInUse.Inc()
 		return true
 	case <-r.Context().Done():
+		s.reg.Counter(metricSlotsRejected, nil).Inc()
 		return false
 	}
 }
 
-func (s *server) release() { <-s.sem }
+func (s *server) release() {
+	s.slotsInUse.Dec()
+	<-s.sem
+}

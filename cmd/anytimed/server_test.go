@@ -13,7 +13,7 @@ import (
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	s, err := newServer(64, 2)
+	s, err := newServer(64, 2, serverConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,11 +15,11 @@ import (
 // version, and decides for itself when to stop listening — the
 // hold-the-power-button interaction with the button on the client side.
 func (s *server) registerStreams() {
-	s.mux.HandleFunc("GET /blur/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	s.handle("GET /blur/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		h, err := newConv2D(s)
 		return h.a, h.out, s.blurRef, err
 	}))
-	s.mux.HandleFunc("GET /cluster/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	s.handle("GET /cluster/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		h, err := newKmeans(s)
 		return h.a, h.out, s.kmRef, err
 	}))
@@ -48,6 +48,7 @@ func (s *server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.I
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		s.instrument(a, out)
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anytime/internal/telemetry"
+)
+
+// Server-level metric names; the pipeline-level families come from
+// internal/telemetry's bindings.
+const (
+	metricHTTPRequests  = "anytimed_http_requests_total"
+	metricHTTPDuration  = "anytimed_http_request_duration_seconds"
+	metricHTTPInFlight  = "anytimed_http_in_flight"
+	metricSlotsInUse    = "anytimed_automaton_slots_in_use"
+	metricSlotsRejected = "anytimed_automaton_slots_rejected_total"
+)
+
+// handle registers h under pattern with the per-request metrics middleware:
+// request count by route and status, a latency histogram by route, and an
+// in-flight gauge. The route label is the mux pattern's path (bounded
+// cardinality), never the raw request path.
+func (s *server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	duration := s.reg.DurationHistogram(metricHTTPDuration, telemetry.Labels{"path": route})
+	inFlight := s.reg.Gauge(metricHTTPInFlight, nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Inc()
+		defer inFlight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		duration.ObserveDuration(time.Since(start))
+		s.reg.Counter(metricHTTPRequests, telemetry.Labels{
+			"path": route,
+			"code": strconv.Itoa(sw.status()),
+		}).Inc()
+	})
+}
+
+// statusWriter captures the response status for the request counter. It
+// forwards Flush so the SSE stream handlers keep working through the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// registerOps mounts the operational endpoints: Prometheus exposition,
+// expvar, a liveness probe, and (behind the -pprof flag) the runtime
+// profiler. These bypass the request middleware so scrapes don't count as
+// traffic.
+func (s *server) registerOps(enablePprof bool) {
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	publishExpvarRegistry(s.reg)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if enablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// The expvar package rejects duplicate Publish names with a panic, but
+// tests construct many servers per process; publish one process-wide
+// expvar that reads whichever registry the newest server installed.
+var (
+	expvarOnce     sync.Once
+	expvarRegistry atomic.Pointer[telemetry.Registry]
+)
+
+func publishExpvarRegistry(reg *telemetry.Registry) {
+	expvarRegistry.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("anytime", expvar.Func(func() any {
+			if r := expvarRegistry.Load(); r != nil {
+				return r.Expvar()
+			}
+			return nil
+		}))
+	})
+}

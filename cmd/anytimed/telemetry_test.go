@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// counterValue extracts the integer sample of one exact series line from a
+// Prometheus exposition body, or -1 if the series is absent.
+func counterValue(t *testing.T, body, series string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\d+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		return -1
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatalf("series %s: %v", series, err)
+	}
+	return v
+}
+
+func TestMetricsExpositionReflectsTraffic(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/blur?hold=3ms"); rec.Code != http.StatusOK {
+		t.Fatalf("blur: %d", rec.Code)
+	}
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	// The acceptance-criteria families must all be present after one
+	// pipeline request.
+	for _, family := range []string{
+		"# TYPE anytime_stage_checkpoint_latency_seconds histogram",
+		"# TYPE anytime_buffer_publish_total counter",
+		"# TYPE anytimed_http_in_flight gauge",
+		"# TYPE anytimed_http_request_duration_seconds histogram",
+		"# TYPE anytimed_automaton_slots_in_use gauge",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+	requests := counterValue(t, body, `anytimed_http_requests_total{code="200",path="/blur"}`)
+	if requests < 1 {
+		t.Fatalf("blur request counter = %d after one request\n%s", requests, body)
+	}
+	publishes := counterValue(t, body, `anytime_buffer_publish_total{buffer="conv2d"}`)
+	runs := counterValue(t, body, `anytime_automaton_runs_total{outcome="stopped"}`)
+
+	// Values must change across requests.
+	if rec := get(t, s, "/blur?hold=3ms"); rec.Code != http.StatusOK {
+		t.Fatalf("second blur: %d", rec.Code)
+	}
+	body2 := get(t, s, "/metrics").Body.String()
+	if got := counterValue(t, body2, `anytimed_http_requests_total{code="200",path="/blur"}`); got != requests+1 {
+		t.Errorf("request counter %d -> %d, want +1", requests, got)
+	}
+	if got := counterValue(t, body2, `anytime_buffer_publish_total{buffer="conv2d"}`); got <= publishes {
+		t.Errorf("publish counter did not grow: %d -> %d", publishes, got)
+	}
+	if runs >= 0 {
+		if got := counterValue(t, body2, `anytime_automaton_runs_total{outcome="stopped"}`); got <= runs {
+			t.Errorf("run counter did not grow: %d -> %d", runs, got)
+		}
+	}
+}
+
+func TestHealthzAndExpvar(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, s, "/blur?hold=2ms"); rec.Code != http.StatusOK {
+		t.Fatalf("blur: %d", rec.Code)
+	}
+	rec = get(t, s, "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"anytime"`) || !strings.Contains(body, "anytimed_http_requests_total") {
+		t.Errorf("expvar missing the registry:\n%s", body)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	if rec := get(t, testServer(t), "/debug/pprof/cmdline"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof exposed without the flag: %d", rec.Code)
+	}
+	s, err := newServer(64, 2, serverConfig{pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(t, s, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Errorf("pprof absent with the flag: %d", rec.Code)
+	}
+}
+
+// TestSemaphoreBoundsConcurrentAutomata fires a burst of held requests well
+// past the 8 slots and asserts the slots-in-use gauge (which mirrors the
+// sem channel) never exceeds the bound while every request still succeeds.
+func TestSemaphoreBoundsConcurrentAutomata(t *testing.T) {
+	s := testServer(t)
+	slots := s.reg.Gauge(metricSlotsInUse, nil)
+
+	const burst = 24
+	var maxSeen atomic.Int64
+	stop := make(chan struct{})
+	var poll sync.WaitGroup
+	poll.Add(1)
+	go func() {
+		defer poll.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := slots.Value(); v > maxSeen.Load() {
+				maxSeen.Store(v)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = get(t, s, "/blur?hold=10ms").Code
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	poll.Wait()
+
+	for i, code := range codes {
+		// 504 is legitimate under contention: the hold elapsed before the
+		// queued automaton's first publish. The invariant under test is the
+		// concurrency bound, not publish latency.
+		if code != http.StatusOK && code != http.StatusGatewayTimeout {
+			t.Errorf("request %d: status %d", i, code)
+		}
+	}
+	if got := maxSeen.Load(); got > int64(cap(s.sem)) {
+		t.Errorf("slots in use peaked at %d, semaphore bound is %d", got, cap(s.sem))
+	}
+	if got := maxSeen.Load(); got < 2 {
+		t.Errorf("burst of %d never ran concurrently (peak %d)", burst, got)
+	}
+	if v := slots.Value(); v != 0 {
+		t.Errorf("slots in use = %d after the burst drained", v)
+	}
+}
+
+// TestAcquireRejectsWhenSaturatedAndClientGone pins the semaphore's edge
+// case: with every slot held, an acquire whose client has gone away must
+// give up rather than block forever, and count the rejection.
+func TestAcquireRejectsWhenSaturatedAndClientGone(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < cap(s.sem); i++ {
+		req := httptest.NewRequest(http.MethodGet, "/blur", nil)
+		if !s.acquire(req) {
+			t.Fatalf("acquire %d failed with free slots", i)
+		}
+	}
+	if v := s.reg.Gauge(metricSlotsInUse, nil).Value(); v != int64(cap(s.sem)) {
+		t.Fatalf("slots gauge = %d, want %d", v, cap(s.sem))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/blur", nil).WithContext(ctx)
+	if s.acquire(req) {
+		t.Fatal("acquire succeeded past the bound")
+	}
+	if v := s.reg.Counter(metricSlotsRejected, nil).Value(); v != 1 {
+		t.Errorf("rejected counter = %d, want 1", v)
+	}
+	for i := 0; i < cap(s.sem); i++ {
+		s.release()
+	}
+	if v := s.reg.Gauge(metricSlotsInUse, nil).Value(); v != 0 {
+		t.Errorf("slots gauge = %d after release, want 0", v)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrStopped is the error stages observe at a Checkpoint after the
@@ -36,6 +37,7 @@ type Automaton struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	err    error
+	hooks  *Hooks
 
 	wg sync.WaitGroup
 }
@@ -86,22 +88,33 @@ func (a *Automaton) Start(ctx context.Context) error {
 	a.cancel = cancel
 	a.state = stateRunning
 	stages := a.stages
+	hooks := a.hooks
 	a.mu.Unlock()
 
+	var begin time.Time
+	if hooks != nil {
+		begin = time.Now()
+		if hooks.AutomatonStart != nil {
+			hooks.AutomatonStart(len(stages))
+		}
+	}
 	a.wg.Add(len(stages))
 	for _, s := range stages {
 		go func() {
 			defer a.wg.Done()
-			// A panicking stage must bring the automaton down as a stage
-			// failure, not kill the whole process: the other stages' output
-			// buffers still hold valid approximations.
-			defer func() {
-				if r := recover(); r != nil {
-					a.recordError(s.name, fmt.Errorf("panic: %v", r))
+			sc := &Context{ctx: runCtx, a: a, name: s.name, hooks: hooks}
+			var stageBegin time.Time
+			if hooks != nil {
+				stageBegin = time.Now()
+				if hooks.StageStart != nil {
+					hooks.StageStart(s.name)
 				}
-			}()
-			sc := &Context{ctx: runCtx, a: a, name: s.name}
-			if err := s.fn(sc); err != nil {
+			}
+			err := runStage(s, sc)
+			if hooks != nil && hooks.StageFinish != nil {
+				hooks.StageFinish(s.name, normalizeStop(err), time.Since(stageBegin))
+			}
+			if err != nil {
 				a.recordError(s.name, err)
 			}
 		}()
@@ -110,11 +123,37 @@ func (a *Automaton) Start(ctx context.Context) error {
 		a.wg.Wait()
 		a.mu.Lock()
 		a.state = stateDone
+		err := a.err
 		a.mu.Unlock()
 		cancel()
 		close(a.done)
+		if hooks != nil && hooks.AutomatonFinish != nil {
+			hooks.AutomatonFinish(err, time.Since(begin))
+		}
 	}()
 	return nil
+}
+
+// runStage executes one stage loop, converting a panic into a stage
+// failure: a panicking stage must bring the automaton down as an error, not
+// kill the whole process — the other stages' output buffers still hold
+// valid approximations.
+func runStage(s registeredStage, sc *Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return s.fn(sc)
+}
+
+// normalizeStop folds the stop-shaped errors into ErrStopped, the way Wait
+// reports them.
+func normalizeStop(err error) error {
+	if err != nil && isStop(err) {
+		return ErrStopped
+	}
+	return err
 }
 
 func (a *Automaton) recordError(stage string, err error) {
@@ -191,9 +230,10 @@ func (a *Automaton) Wait() error {
 
 // Context is the per-stage execution context handed to stage loops.
 type Context struct {
-	ctx  context.Context
-	a    *Automaton
-	name string
+	ctx   context.Context
+	a     *Automaton
+	name  string
+	hooks *Hooks
 }
 
 // Name reports the stage's registered name.
@@ -209,7 +249,23 @@ func (c *Context) Checkpoint() error {
 	if c.ctx.Err() != nil {
 		return ErrStopped
 	}
-	if err := c.a.gate.wait(c.ctx); err != nil {
+	h := c.hooks
+	if h == nil || h.Checkpoint == nil {
+		if err := c.a.gate.wait(c.ctx); err != nil {
+			return ErrStopped
+		}
+		return nil
+	}
+	// Hooked path: report the time spent blocked at the pause gate, paying
+	// for timestamps only when the gate is actually closed.
+	if c.a.gate.tryWait() {
+		h.Checkpoint(c.name, 0)
+		return nil
+	}
+	begin := time.Now()
+	err := c.a.gate.wait(c.ctx)
+	h.Checkpoint(c.name, time.Since(begin))
+	if err != nil {
 		return ErrStopped
 	}
 	return nil
@@ -250,6 +306,19 @@ func (g *gate) paused() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.on
+}
+
+// tryWait reports whether the gate is open without blocking.
+func (g *gate) tryWait() bool {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 func (g *gate) wait(ctx context.Context) error {

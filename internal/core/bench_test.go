@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // The model's overheads in isolation: publish cost, snapshot read cost,
@@ -88,6 +89,37 @@ func benchDiffusive(b *testing.B, workers int, batch bool) {
 func BenchmarkDiffusivePerUpdate(b *testing.B)      { benchDiffusive(b, 1, false) }
 func BenchmarkDiffusivePerUpdate4W(b *testing.B)    { benchDiffusive(b, 4, false) }
 func BenchmarkDiffusiveBatchPerUpdate(b *testing.B) { benchDiffusive(b, 1, true) }
+
+// benchContext returns a stage context over a running (open) gate, the
+// state every Checkpoint call sees in an unpaused pipeline.
+func benchContext(h *Hooks) *Context {
+	return &Context{ctx: context.Background(), a: New(), name: "bench", hooks: h}
+}
+
+// BenchmarkCheckpointUnhooked is the hot path with no registry attached —
+// the cost every existing pipeline pays for the telemetry layer existing.
+func BenchmarkCheckpointUnhooked(b *testing.B) {
+	c := benchContext(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointHooked is the same path with a minimal hook attached —
+// the floor any real telemetry binding builds on.
+func BenchmarkCheckpointHooked(b *testing.B) {
+	var n atomic.Int64
+	c := benchContext(&Hooks{Checkpoint: func(string, time.Duration) { n.Add(1) }})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkWaitNewerHot(b *testing.B) {
 	buf := NewBuffer[int]("b", nil)

@@ -51,11 +51,11 @@ type Buffer[T any] struct {
 	name  string
 	clone func(T) T
 
-	mu       sync.Mutex
-	snap     Snapshot[T]
-	has      bool
-	changed  chan struct{}
-	observer func(Snapshot[T])
+	mu        sync.Mutex
+	snap      Snapshot[T]
+	has       bool
+	changed   chan struct{}
+	observers []func(Snapshot[T])
 }
 
 // NewBuffer returns an empty buffer. name labels the buffer in errors and
@@ -72,14 +72,19 @@ func NewBuffer[T any](name string, clone func(T) T) *Buffer[T] {
 func (b *Buffer[T]) Name() string { return b.name }
 
 // OnPublish registers an observer invoked after every publish with the new
-// snapshot. At most one observer is supported; it is invoked from the
-// publishing stage's goroutine, in publish order, and must not block for
-// long (it delays the pipeline, exactly as a profiler attached to a real
-// automaton would). It must be registered before the automaton starts.
+// snapshot. Any number of observers may be registered (a Tracer and a
+// telemetry sink routinely share a buffer); each is invoked from the
+// publishing stage's goroutine, in registration order, and must not block
+// for long (it delays the pipeline, exactly as a profiler attached to a
+// real automaton would). Observers must be registered before the automaton
+// starts.
 func (b *Buffer[T]) OnPublish(fn func(Snapshot[T])) {
+	if fn == nil {
+		return
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.observer = fn
+	b.observers = append(b.observers, fn)
 }
 
 // Publish atomically installs v as the next snapshot. final marks v as the
@@ -100,11 +105,11 @@ func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
 	b.snap = Snapshot[T]{Value: v, Version: b.snap.Version + 1, Final: final}
 	b.has = true
 	snap := b.snap
-	observer := b.observer
+	observers := b.observers
 	close(b.changed)
 	b.changed = make(chan struct{})
 	b.mu.Unlock()
-	if observer != nil {
+	for _, observer := range observers {
 		observer(snap)
 	}
 	return snap, nil

@@ -152,6 +152,33 @@ func TestBufferObserverSeesEveryPublishInOrder(t *testing.T) {
 	}
 }
 
+// TestBufferTwoObserversBothSeeEveryPublish locks in the append-only
+// observer list: registering a second observer (telemetry next to a tracer,
+// say) must not displace the first, and both must see every publish in
+// order.
+func TestBufferTwoObserversBothSeeEveryPublish(t *testing.T) {
+	b := NewBuffer[int]("b", nil)
+	var first, second []Version
+	b.OnPublish(func(s Snapshot[int]) { first = append(first, s.Version) })
+	b.OnPublish(func(s Snapshot[int]) { second = append(second, s.Version) })
+	b.OnPublish(nil) // must be ignored, not registered
+	for i := 0; i < 4; i++ {
+		if _, err := b.Publish(i, i == 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, got := range map[string][]Version{"first": first, "second": second} {
+		if len(got) != 4 {
+			t.Fatalf("%s observer saw %d publishes, want 4", name, len(got))
+		}
+		for i, v := range got {
+			if v != Version(i+1) {
+				t.Errorf("%s observer order wrong: %v", name, got)
+			}
+		}
+	}
+}
+
 // TestBufferConcurrentReadersSeeMonotoneVersions hammers a buffer with one
 // writer and many readers; every reader must observe strictly increasing
 // versions and never a torn snapshot (value encodes the version).

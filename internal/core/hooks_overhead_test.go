@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// seedCheckpoint is the exact Checkpoint body the package had before the
+// Hooks instrumentation points were added: a context error check plus one
+// closed-channel receive at the (open) pause gate.
+func seedCheckpoint(c *Context) error {
+	if c.ctx.Err() != nil {
+		return ErrStopped
+	}
+	if err := c.a.gate.wait(c.ctx); err != nil {
+		return ErrStopped
+	}
+	return nil
+}
+
+// TestUnhookedCheckpointOverheadWithinBudget is the bench guard for the
+// telemetry layer: with no registry attached (nil hooks), the instrumented
+// Checkpoint must stay within 5% of the pre-telemetry path. Both loops are
+// identical but for one nil pointer check, so the guard holds outside of
+// scheduler noise; it retries a few times before declaring a regression.
+func TestUnhookedCheckpointOverheadWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	c := benchContext(nil)
+	// Warm both paths so neither loop pays one-time costs.
+	for i := 0; i < 1000; i++ {
+		if err := c.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seedCheckpoint(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measure := func(fn func(*Context) error) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	const attempts = 5
+	var lastBase, lastCur float64
+	for i := 0; i < attempts; i++ {
+		lastBase = measure(seedCheckpoint)
+		lastCur = measure((*Context).Checkpoint)
+		if lastCur <= lastBase*1.05 {
+			return
+		}
+	}
+	t.Errorf("unhooked Checkpoint %.2f ns/op vs pre-telemetry %.2f ns/op (>5%% overhead across %d attempts)",
+		lastCur, lastBase, attempts)
+}
+
+// TestHookedCheckpointStillCheap bounds the hooked path loosely: attaching
+// hooks may pay for timestamps and callbacks, but must stay within an order
+// of magnitude of the bare gate — a canary against accidentally putting a
+// lock or allocation on the per-checkpoint path.
+func TestHookedCheckpointStillCheap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	hooked := benchContext(&Hooks{Checkpoint: func(string, time.Duration) {}})
+	bare := benchContext(nil)
+	measure := func(c *Context) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	h := measure(hooked)
+	u := measure(bare)
+	if u > 0 && h > u*10 {
+		t.Errorf("hooked Checkpoint %.2f ns/op vs unhooked %.2f ns/op (>10x)", h, u)
+	}
+}

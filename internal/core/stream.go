@@ -25,7 +25,8 @@ type Update[X any] struct {
 // distributive consumer. It carries every update exactly once, in order,
 // with backpressure once the buffer fills.
 type Stream[X any] struct {
-	ch chan Update[X]
+	ch      chan Update[X]
+	onDepth func(depth, capacity int)
 }
 
 // NewStream returns a stream whose buffer holds up to capacity in-flight
@@ -37,11 +38,27 @@ func NewStream[X any](capacity int) (*Stream[X], error) {
 	return &Stream[X]{ch: make(chan Update[X], capacity)}, nil
 }
 
+// OnDepth registers an observer invoked with the stream's in-flight update
+// count after every Send and Recv, so a telemetry layer can watch the
+// synchronous edge's queue depth (how far the consumer is running behind
+// its producer). It must be registered before the automaton starts; nil is
+// ignored. The reported depth is a snapshot and may already be stale when
+// the observer runs.
+func (s *Stream[X]) OnDepth(fn func(depth, capacity int)) {
+	if fn == nil {
+		return
+	}
+	s.onDepth = fn
+}
+
 // Send delivers one update, blocking while the buffer is full. It returns
 // ErrStopped if the automaton stops first.
 func (s *Stream[X]) Send(c *Context, u Update[X]) error {
 	select {
 	case s.ch <- u:
+		if s.onDepth != nil {
+			s.onDepth(len(s.ch), cap(s.ch))
+		}
 		return nil
 	case <-c.Context().Done():
 		return ErrStopped
@@ -54,6 +71,9 @@ func (s *Stream[X]) Send(c *Context, u Update[X]) error {
 func (s *Stream[X]) Recv(c *Context) (u Update[X], ok bool, err error) {
 	select {
 	case u, ok = <-s.ch:
+		if s.onDepth != nil {
+			s.onDepth(len(s.ch), cap(s.ch))
+		}
 		return u, ok, nil
 	case <-c.Context().Done():
 		return u, false, ErrStopped

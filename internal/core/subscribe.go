@@ -8,9 +8,9 @@ import "context"
 // asynchronous child stage would skip them. The channel closes after the
 // final snapshot has been delivered or when ctx is cancelled.
 //
-// Unlike OnPublish (a single synchronous observer on the publishing
-// goroutine), any number of subscribers may attach at any time, and a slow
-// subscriber never delays the pipeline.
+// Unlike OnPublish (synchronous observers on the publishing goroutine,
+// registered before the automaton starts), any number of subscribers may
+// attach at any time, and a slow subscriber never delays the pipeline.
 func (b *Buffer[T]) Subscribe(ctx context.Context) <-chan Snapshot[T] {
 	out := make(chan Snapshot[T], 1)
 	go func() {

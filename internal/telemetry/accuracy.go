@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"anytime/internal/core"
+	"anytime/internal/harness"
+	"anytime/internal/metrics"
+	"anytime/internal/pix"
+)
+
+// AccuracyRecorder samples a buffer's accuracy-versus-wallclock curve — the
+// live equivalent of the paper's §V runtime–accuracy profiles (Figures
+// 11–15). It attaches as a publish observer and stores only a timestamp and
+// the published snapshot (immutable by Property 3); SNR against the precise
+// reference is computed lazily at export time, so recording never delays
+// the pipeline being measured. Exports share the harness's Profile code
+// path, so a live run and an EXPERIMENTS figure render identically.
+type AccuracyRecorder struct {
+	ref *pix.Image
+
+	mu      sync.Mutex
+	start   time.Time
+	samples []accuracySample
+	curve   []AccuracySample // lazily computed cache, invalidated on record
+}
+
+type accuracySample struct {
+	at      time.Duration
+	version core.Version
+	final   bool
+	img     *pix.Image
+}
+
+// AccuracySample is one exported point of the curve.
+type AccuracySample struct {
+	// Elapsed is wall time since Begin (or the recorder's creation).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Version is the snapshot's buffer version.
+	Version core.Version `json:"version"`
+	// SNR is the accuracy in decibels against the precise reference
+	// (+Inf when bit-exact; serialized as "inf" in JSON).
+	SNR float64 `json:"-"`
+	// Final marks the precise output.
+	Final bool `json:"final"`
+}
+
+// NewAccuracyRecorder returns a recorder comparing published images against
+// the precise reference ref.
+func NewAccuracyRecorder(ref *pix.Image) *AccuracyRecorder {
+	return &AccuracyRecorder{ref: ref, start: time.Now()}
+}
+
+// Begin (re)sets the curve's time origin and discards prior samples. Call
+// it immediately before starting the automaton.
+func (r *AccuracyRecorder) Begin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start = time.Now()
+	r.samples = r.samples[:0]
+	r.curve = nil
+}
+
+// ObserveAccuracy attaches rec as a publish observer of buf. Like any
+// observer it must be attached before the automaton starts; it coexists
+// with tracers and metric observers on the same buffer.
+func ObserveAccuracy(rec *AccuracyRecorder, buf *core.Buffer[*pix.Image]) {
+	buf.OnPublish(func(s core.Snapshot[*pix.Image]) { rec.record(s) })
+}
+
+func (r *AccuracyRecorder) record(s core.Snapshot[*pix.Image]) {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, accuracySample{
+		at:      now.Sub(r.start),
+		version: s.Version,
+		final:   s.Final,
+		img:     s.Value,
+	})
+	r.curve = nil
+}
+
+// Curve returns the recorded samples with SNR computed against the
+// reference, in publish order. The computation is cached until the next
+// publish.
+func (r *AccuracyRecorder) Curve() ([]AccuracySample, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.curve != nil {
+		return append([]AccuracySample(nil), r.curve...), nil
+	}
+	curve := make([]AccuracySample, 0, len(r.samples))
+	for _, s := range r.samples {
+		db, err := metrics.SNR(r.ref.Pix, s.img.Pix)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: accuracy sample v%d: %w", s.version, err)
+		}
+		curve = append(curve, AccuracySample{Elapsed: s.at, Version: s.version, SNR: db, Final: s.final})
+	}
+	r.curve = curve
+	return append([]AccuracySample(nil), curve...), nil
+}
+
+// Profile converts the curve into the harness's Profile type — the same
+// structure EXPERIMENTS figures are plotted from — normalizing elapsed time
+// by baseline (the precise run's wall time).
+func (r *AccuracyRecorder) Profile(app string, baseline time.Duration) (harness.Profile, error) {
+	if baseline <= 0 {
+		return harness.Profile{}, fmt.Errorf("telemetry: nonpositive baseline %v", baseline)
+	}
+	curve, err := r.Curve()
+	if err != nil {
+		return harness.Profile{}, err
+	}
+	p := harness.Profile{App: app, Baseline: baseline}
+	for _, s := range curve {
+		p.Points = append(p.Points, harness.Point{
+			Runtime: float64(s.Elapsed) / float64(baseline),
+			SNR:     s.SNR,
+		})
+		if s.Elapsed > p.Total {
+			p.Total = s.Elapsed
+		}
+	}
+	return p, nil
+}
+
+// WriteJSON emits the curve as a JSON array of
+// {elapsed_ns, version, snr_db, final} objects, with +Inf SNR serialized as
+// "inf" (the harness's convention).
+func (r *AccuracyRecorder) WriteJSON(w io.Writer) error {
+	curve, err := r.Curve()
+	if err != nil {
+		return err
+	}
+	type jsonSample struct {
+		ElapsedNS int64  `json:"elapsed_ns"`
+		Version   uint64 `json:"version"`
+		SNRdB     string `json:"snr_db"`
+		Final     bool   `json:"final"`
+	}
+	out := make([]jsonSample, len(curve))
+	for i, s := range curve {
+		out[i] = jsonSample{
+			ElapsedNS: int64(s.Elapsed),
+			Version:   uint64(s.Version),
+			SNRdB:     metrics.FormatDB(s.SNR),
+			Final:     s.Final,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` header per metric family,
+// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`. Series are ordered by name then labels, so successive scrapes
+// diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, s := range r.snapshot() {
+		if s.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			lastFamily = s.name
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, formatLabels(s.labels, "", 0), s.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, formatLabels(s.labels, "", 0), s.gauge.Value())
+		case kindHistogram:
+			err = writeHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, s *series) error {
+	h := s.hist
+	uppers, counts := h.cumulative()
+	for i, upper := range uppers {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, formatLabels(s.labels, "le", upper), counts[i]); err != nil {
+			return err
+		}
+	}
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, formatLabels(s.labels, "le", math.Inf(1)), count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, formatLabels(s.labels, "", 0), formatFloat(float64(h.Sum())*h.scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, formatLabels(s.labels, "", 0), count)
+	return err
+}
+
+// formatLabels renders {k="v",...} with keys sorted, optionally appending
+// an le label for histogram buckets. It returns "" when there is nothing to
+// render.
+func formatLabels(labels Labels, le string, upper float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsInf(upper, 1) {
+			fmt.Fprintf(&b, "%s=%q", le, "+Inf")
+		} else {
+			fmt.Fprintf(&b, "%s=%q", le, formatFloat(upper))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients do: the shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler returns an http.Handler serving WritePrometheus — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Expvar returns the registry as a JSON-friendly tree for expvar.Publish:
+// map[metricName]map[labelString]value, histograms as {count, sum, mean,
+// p50, p99}. Publish it as expvar.Func(reg.Expvar) and the stock
+// /debug/vars handler exposes it.
+func (r *Registry) Expvar() any {
+	out := map[string]map[string]any{}
+	for _, s := range r.snapshot() {
+		family := out[s.name]
+		if family == nil {
+			family = map[string]any{}
+			out[s.name] = family
+		}
+		label := formatLabels(s.labels, "", 0)
+		if label == "" {
+			label = "{}"
+		}
+		switch s.kind {
+		case kindCounter:
+			family[label] = s.counter.Value()
+		case kindGauge:
+			family[label] = s.gauge.Value()
+		case kindHistogram:
+			family[label] = map[string]any{
+				"count": s.hist.Count(),
+				"sum":   float64(s.hist.Sum()) * s.hist.scale,
+				"mean":  s.hist.Mean(),
+				"p50":   s.hist.Quantile(0.50),
+				"p99":   s.hist.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}
+
+// WriteSummary renders a human-readable table of every series — the
+// `anytime -telemetry` exit report. Counters include a per-second rate over
+// the registry's lifetime; histograms report count/mean/p50/p99.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	elapsed := time.Since(r.created).Seconds()
+	if elapsed <= 0 {
+		elapsed = math.SmallestNonzeroFloat64
+	}
+	rows := [][4]string{{"METRIC", "LABELS", "KIND", "VALUE"}}
+	for _, s := range r.snapshot() {
+		label := formatLabels(s.labels, "", 0)
+		var val string
+		switch s.kind {
+		case kindCounter:
+			v := s.counter.Value()
+			val = fmt.Sprintf("%d (%.2f/s)", v, float64(v)/elapsed)
+		case kindGauge:
+			val = fmt.Sprintf("%d", s.gauge.Value())
+		case kindHistogram:
+			h := s.hist
+			unit := ""
+			if h.scale != 1 {
+				unit = "s"
+			}
+			val = fmt.Sprintf("n=%d mean=%s%s p50=%s%s p99=%s%s",
+				h.Count(),
+				formatFloat(round3(h.Mean())), unit,
+				formatFloat(round3(h.Quantile(0.50))), unit,
+				formatFloat(round3(h.Quantile(0.99))), unit)
+		}
+		rows = append(rows, [4]string{s.name, label, s.kind.String(), val})
+	}
+	var width [3]int
+	for _, row := range rows {
+		for i := 0; i < 3; i++ {
+			if len(row[i]) > width[i] {
+				width[i] = len(row[i])
+			}
+		}
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%-*s  %-*s  %-*s  %s\n",
+			width[0], row[0], width[1], row[1], width[2], row[2], row[3]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round3 trims a float to 3 significant-ish decimals for the summary table.
+func round3(v float64) float64 {
+	if math.IsInf(v, 0) || v == 0 {
+		return v
+	}
+	return math.Round(v*1e6) / 1e6
+}

@@ -44,9 +44,9 @@ func (t *Tracer) Start() {
 	t.events = t.events[:0]
 }
 
-// Attach registers the tracer as buf's publish observer. It must be called
-// before the automaton starts, and at most one observer per buffer is
-// supported (Attach replaces any previous one).
+// Attach registers the tracer as one of buf's publish observers. It must be
+// called before the automaton starts. Other observers (a telemetry sink,
+// say) may share the buffer; each registered observer sees every publish.
 func Attach[T any](t *Tracer, buf *core.Buffer[T]) {
 	name := buf.Name()
 	buf.OnPublish(func(s core.Snapshot[T]) {

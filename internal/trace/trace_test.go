@@ -116,6 +116,76 @@ func TestTimelineNarrowWidthClamped(t *testing.T) {
 	}
 }
 
+// TestTimelineLabelWiderThanWidth: a buffer name longer than the requested
+// width must not corrupt the layout — the name column sizes independently
+// of the time axis.
+func TestTimelineLabelWiderThanWidth(t *testing.T) {
+	tr := New()
+	const name = "a-buffer-name-much-wider-than-the-axis"
+	tr.mu.Lock()
+	tr.events = []Event{{Buffer: name, At: time.Millisecond, Version: 1, Final: true}}
+	tr.mu.Unlock()
+	var buf bytes.Buffer
+	if err := tr.Timeline(&buf, len(name)/2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, name) {
+		t.Errorf("timeline lost the label: %q", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("timeline lost the event: %q", out)
+	}
+}
+
+// TestTracerRecordsEventsAfterAutomatonStop locks in current behavior:
+// observers stay attached after the automaton stops, so a publish arriving
+// later (a detached writer, a second run on the same buffer) is still
+// recorded and extends the timeline.
+func TestTracerRecordsEventsAfterAutomatonStop(t *testing.T) {
+	tr := New()
+	buf := core.NewBuffer[int]("late", nil)
+	Attach(tr, buf)
+	tr.Start()
+	a := core.New()
+	if err := a.AddStage("s", func(c *core.Context) error {
+		if _, err := buf.Publish(1, false); err != nil {
+			return err
+		}
+		for {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	a.Stop()
+	if got := len(tr.Events()); got != 1 {
+		t.Fatalf("%d events before the late publish", got)
+	}
+	if _, err := buf.Publish(2, true); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("late publish not recorded: %d events", len(events))
+	}
+	if events[1].Version != 2 || !events[1].Final || events[1].At < events[0].At {
+		t.Errorf("late event = %+v", events[1])
+	}
+	var out bytes.Buffer
+	if err := tr.Timeline(&out, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "#") {
+		t.Errorf("timeline missing the late final mark: %q", out.String())
+	}
+}
+
 func TestTracerMultiBufferPipeline(t *testing.T) {
 	tr := New()
 	fBuf := core.NewBuffer[int]("f", nil)

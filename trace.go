@@ -19,8 +19,9 @@ type TraceEvent = trace.Event
 // starting the automaton.
 func NewTracer() *Tracer { return trace.New() }
 
-// TraceBuffer registers the tracer as buf's publish observer. Call before
-// the automaton starts; at most one observer per buffer.
+// TraceBuffer registers the tracer as one of buf's publish observers. Call
+// before the automaton starts; tracers and telemetry observers may share a
+// buffer.
 func TraceBuffer[T any](t *Tracer, buf *Buffer[T]) { trace.Attach(t, buf) }
 
 // GraphBuilder declares an automaton as an explicit dataflow DAG and
