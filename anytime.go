@@ -58,9 +58,30 @@ type Automaton = core.Automaton
 // between units of work so Pause and Stop take effect promptly.
 type Context = core.Context
 
-// RoundConfig tunes a diffusive stage's publish granularity and worker
-// count.
+// RoundConfig tunes a diffusive stage's publish granularity, worker count,
+// and publish policy.
 type RoundConfig = core.RoundConfig
+
+// PublishPolicy selects when a diffusive stage constructs and publishes a
+// round snapshot (§III-B2 granularity versus §IV-C overheads).
+type PublishPolicy = core.PublishPolicy
+
+const (
+	// PublishEveryRound publishes after every round — the paper's default
+	// granularity model.
+	PublishEveryRound = core.PublishEveryRound
+	// PublishOnDemand skips snapshot construction while nobody has consumed
+	// the previous version (§III-C1: the consumer "processes whichever
+	// output happens to be in the buffer").
+	PublishOnDemand = core.PublishOnDemand
+	// PublishAdaptive widens the publish interval until snapshot overhead
+	// stays within RoundConfig.PublishBudget of stage time.
+	PublishAdaptive = core.PublishAdaptive
+)
+
+// DefaultPublishBudget is PublishAdaptive's overhead target when
+// RoundConfig.PublishBudget is zero.
+const DefaultPublishBudget = core.DefaultPublishBudget
 
 // Update is one diffusive update flowing through a synchronous edge.
 type Update[X any] = core.Update[X]

@@ -7,6 +7,7 @@
 //	anytime -app conv2d|histeq|dwt53|debayer|kmeans
 //	        [-size N] [-workers N] [-seed N]
 //	        [-halt FRACTION] [-in image.pgm] [-out image.pgm]
+//	        [-tiles] [-publish every|demand|adaptive]
 //	        [-telemetry] [-curve curve.json]
 //
 // The tool measures the precise baseline, starts the automaton, halts it at
@@ -16,11 +17,14 @@
 // PGM image replaces the synthetic input (conv2d, histeq, dwt53; debayer
 // treats it as a Bayer mosaic).
 //
-// -telemetry attaches the runtime metrics registry (the same instruments
-// anytimed exposes at /metrics) and dumps a summary table on exit. -curve
-// records the run's accuracy-versus-time samples, writes them as JSON, and
-// prints the ASCII runtime–accuracy plot the harness draws for the paper's
-// §V figures.
+// -tiles publishes the diffusive image stages' snapshots through the
+// zero-copy tile ring (pix.SnapshotTiles) instead of fresh clones; -publish
+// selects the round publish policy (core.PublishPolicy). -telemetry
+// attaches the runtime metrics registry (the same instruments anytimed
+// exposes at /metrics) and dumps a summary table on exit. -curve records
+// the run's accuracy-versus-time samples, writes them as JSON, and prints
+// the ASCII runtime–accuracy plot the harness draws for the paper's §V
+// figures.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"anytime/internal/apps/conv2d"
@@ -44,23 +49,68 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "conv2d", "application: conv2d, histeq, dwt53, debayer, kmeans")
-	size := flag.Int("size", 512, "synthetic input side length")
-	workers := flag.Int("workers", 4, "workers per parallel stage")
-	seed := flag.Uint64("seed", 1, "synthetic input seed")
-	halt := flag.Float64("halt", 1.0, "halt after this fraction of the baseline runtime (>=1 runs to precise)")
-	accept := flag.Float64("accept", 0, "stop automatically once output SNR reaches this many dB (0 disables)")
-	showTrace := flag.Bool("trace", false, "print an ASCII publish timeline after the run")
-	showTelemetry := flag.Bool("telemetry", false, "attach the metrics registry and dump a summary table on exit")
-	curvePath := flag.String("curve", "", "record the accuracy-vs-time curve, write it as JSON here, and print its plot")
-	inPath := flag.String("in", "", "input PGM/PPM file (optional; synthetic input otherwise)")
-	outPath := flag.String("out", "", "write the halted output image here (optional)")
-	diffPath := flag.String("diff", "", "write an error heat image (|precise - output| x8) here (optional)")
-	flag.Parse()
-
-	if err := run(*app, *size, *workers, *seed, *halt, *accept, *inPath, *outPath, *diffPath, *showTrace, *showTelemetry, *curvePath); err != nil {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "anytime:", err)
 		os.Exit(1)
+	}
+}
+
+// opts is the tool's parsed command line.
+type opts struct {
+	app       string
+	size      int
+	workers   int
+	seed      uint64
+	halt      float64
+	accept    float64
+	in        string
+	out       string
+	diff      string
+	trace     bool
+	telemetry bool
+	curve     string
+	tiles     bool
+	publish   string
+}
+
+func parseFlags(args []string) (opts, error) {
+	var o opts
+	fs := flag.NewFlagSet("anytime", flag.ContinueOnError)
+	fs.StringVar(&o.app, "app", "conv2d", "application: conv2d, histeq, dwt53, debayer, kmeans")
+	fs.IntVar(&o.size, "size", 512, "synthetic input side length")
+	fs.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0), "workers per parallel stage")
+	fs.Uint64Var(&o.seed, "seed", 1, "synthetic input seed")
+	fs.Float64Var(&o.halt, "halt", 1.0, "halt after this fraction of the baseline runtime (>=1 runs to precise)")
+	fs.Float64Var(&o.accept, "accept", 0, "stop automatically once output SNR reaches this many dB (0 disables)")
+	fs.BoolVar(&o.trace, "trace", false, "print an ASCII publish timeline after the run")
+	fs.BoolVar(&o.telemetry, "telemetry", false, "attach the metrics registry and dump a summary table on exit")
+	fs.StringVar(&o.curve, "curve", "", "record the accuracy-vs-time curve, write it as JSON here, and print its plot")
+	fs.StringVar(&o.in, "in", "", "input PGM/PPM file (optional; synthetic input otherwise)")
+	fs.StringVar(&o.out, "out", "", "write the halted output image here (optional)")
+	fs.StringVar(&o.diff, "diff", "", "write an error heat image (|precise - output| x8) here (optional)")
+	fs.BoolVar(&o.tiles, "tiles", false, "publish image snapshots through the zero-copy tile ring")
+	fs.StringVar(&o.publish, "publish", "every", "round publish policy: every, demand, adaptive")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// publishPolicy maps the -publish flag to core's policy.
+func publishPolicy(name string) (core.PublishPolicy, error) {
+	switch name {
+	case "", "every":
+		return core.PublishEveryRound, nil
+	case "demand":
+		return core.PublishOnDemand, nil
+	case "adaptive":
+		return core.PublishAdaptive, nil
+	default:
+		return 0, fmt.Errorf("unknown publish policy %q (want every, demand, or adaptive)", name)
 	}
 }
 
@@ -72,25 +122,38 @@ type appRun struct {
 	out      *core.Buffer[*pix.Image]
 }
 
-func run(app string, size, workers int, seed uint64, halt, accept float64, inPath, outPath, diffPath string, showTrace, showTelemetry bool, curvePath string) error {
-	ar, err := build(app, size, workers, seed, inPath)
+func run(o opts) error {
+	if o.accept > 0 && o.tiles {
+		// The accept controller evaluates snapshots on its own goroutine
+		// (core.StopWhen), concurrently with further publishes — a retaining
+		// consumer by the tile ring's contract. Fall back to clone snapshots
+		// rather than race on ring storage.
+		o.tiles = false
+		fmt.Println("note: -accept evaluates snapshots asynchronously; ignoring -tiles")
+	}
+	ar, err := build(o)
 	if err != nil {
 		return err
 	}
 	var tr *trace.Tracer
-	if showTrace {
+	if o.trace {
 		tr = trace.New()
 		trace.Attach(tr, ar.out)
 	}
 	var reg *telemetry.Registry
-	if showTelemetry {
+	if o.telemetry {
 		reg = telemetry.NewRegistry()
 		ar.automa.SetHooks(telemetry.PipelineHooks(reg))
 		telemetry.ObserveBuffer(reg, ar.out)
 	}
 	var rec *telemetry.AccuracyRecorder
-	if curvePath != "" {
+	if o.curve != "" {
 		rec = telemetry.NewAccuracyRecorder(ar.ref)
+		if o.tiles {
+			// The recorder retains every published image until export —
+			// far past the tile ring's reuse window — so it must copy.
+			rec.CopyOnRecord()
+		}
 		telemetry.ObserveAccuracy(rec, ar.out)
 	}
 	baseline, err := harness.TimeBaseline(ar.baseline, 3)
@@ -107,12 +170,12 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 
 	var snap core.Snapshot[*pix.Image]
 	start := time.Now()
-	if accept > 0 {
+	if o.accept > 0 {
 		// Automated accuracy control (paper §III-A): stop as soon as the
 		// whole-application output reaches the acceptability bar.
 		accepted := core.StopWhen(ar.automa, ar.out, func(s core.Snapshot[*pix.Image]) bool {
 			db, err := metrics.SNR(ar.ref.Pix, s.Value.Pix)
-			return err == nil && db >= accept
+			return err == nil && db >= o.accept
 		})
 		if err := ar.automa.Start(context.Background()); err != nil {
 			return err
@@ -122,7 +185,7 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 			return fmt.Errorf("automaton ended without any output")
 		}
 		snap = s
-	} else if halt >= 1 {
+	} else if o.halt >= 1 {
 		if err := ar.automa.Start(context.Background()); err != nil {
 			return err
 		}
@@ -135,7 +198,7 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 		}
 		snap = s
 	} else {
-		s, err := harness.RunUntil(ar.automa, ar.out, time.Duration(halt*float64(baseline)))
+		s, err := harness.RunUntil(ar.automa, ar.out, time.Duration(o.halt*float64(baseline)))
 		if err != nil {
 			return err
 		}
@@ -149,21 +212,21 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 	}
 	fmt.Printf("halted after %v (%.2fx baseline): version %d, final=%v, SNR %s dB\n",
 		elapsed, float64(elapsed)/float64(baseline), snap.Version, snap.Final, metrics.FormatDB(db))
-	if outPath != "" {
-		if err := pix.WritePNMFile(outPath, snap.Value); err != nil {
+	if o.out != "" {
+		if err := pix.WritePNMFile(o.out, snap.Value); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", outPath)
+		fmt.Printf("wrote %s\n", o.out)
 	}
-	if diffPath != "" {
+	if o.diff != "" {
 		heat, err := pix.DiffImage(ar.ref, snap.Value, 8)
 		if err != nil {
 			return err
 		}
-		if err := pix.WritePNMFile(diffPath, heat); err != nil {
+		if err := pix.WritePNMFile(o.diff, heat); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", diffPath)
+		fmt.Printf("wrote %s\n", o.diff)
 	}
 	if tr != nil {
 		if err := tr.Timeline(os.Stdout, 72); err != nil {
@@ -171,7 +234,7 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 		}
 	}
 	if rec != nil {
-		f, err := os.Create(curvePath)
+		f, err := os.Create(o.curve)
 		if err != nil {
 			return err
 		}
@@ -182,10 +245,10 @@ func run(app string, size, workers int, seed uint64, halt, accept float64, inPat
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", curvePath)
+		fmt.Printf("wrote %s\n", o.curve)
 		// The recorder feeds the same Profile type the harness plots the
 		// paper's §V figures from — one code path for live and offline.
-		profile, err := rec.Profile(app, baseline)
+		profile, err := rec.Profile(o.app, baseline)
 		if err != nil {
 			return err
 		}
@@ -218,27 +281,35 @@ func awaitIdle(reg *telemetry.Registry, budget time.Duration) {
 	}
 }
 
-func build(app string, size, workers int, seed uint64, inPath string) (*appRun, error) {
+func build(o opts) (*appRun, error) {
+	policy, err := publishPolicy(o.publish)
+	if err != nil {
+		return nil, err
+	}
+	snapMode := pix.SnapshotClone
+	if o.tiles {
+		snapMode = pix.SnapshotTiles
+	}
 	grayInput := func() (*pix.Image, error) {
-		if inPath != "" {
-			im, err := pix.ReadPNMFile(inPath)
+		if o.in != "" {
+			im, err := pix.ReadPNMFile(o.in)
 			if err != nil {
 				return nil, err
 			}
 			if im.C != 1 {
-				return nil, fmt.Errorf("%s needs a grayscale (PGM) input", app)
+				return nil, fmt.Errorf("%s needs a grayscale (PGM) input", o.app)
 			}
 			return im, nil
 		}
-		return pix.SyntheticGray(size, size, seed)
+		return pix.SyntheticGray(o.size, o.size, o.seed)
 	}
-	switch app {
+	switch o.app {
 	case "conv2d":
 		in, err := grayInput()
 		if err != nil {
 			return nil, err
 		}
-		cfg := conv2d.Config{Workers: workers}
+		cfg := conv2d.Config{Workers: o.workers, Snapshot: snapMode, Publish: policy}
 		ref, err := conv2d.Precise(in, cfg)
 		if err != nil {
 			return nil, err
@@ -256,7 +327,7 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 		if err != nil {
 			return nil, err
 		}
-		cfg := histeq.Config{Workers: workers}
+		cfg := histeq.Config{Workers: o.workers, Snapshot: snapMode, Publish: policy}
 		ref, err := histeq.Precise(in, cfg)
 		if err != nil {
 			return nil, err
@@ -274,7 +345,9 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 		if err != nil {
 			return nil, err
 		}
-		cfg := dwt53.Config{Workers: workers}
+		// dwt53 is iterative (whole-image passes), not diffusive: the tile
+		// ring and publish policies don't apply to it.
+		cfg := dwt53.Config{Workers: o.workers}
 		r, err := dwt53.New(in, cfg)
 		if err != nil {
 			return nil, err
@@ -285,15 +358,14 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 		}, nil
 	case "debayer":
 		var in *pix.Image
-		var err error
-		if inPath != "" {
-			in, err = pix.ReadPNMFile(inPath)
+		if o.in != "" {
+			in, err = pix.ReadPNMFile(o.in)
 			if err == nil && in.C != 1 {
 				err = fmt.Errorf("debayer needs a grayscale Bayer mosaic (PGM) input")
 			}
 		} else {
 			var rgb *pix.Image
-			rgb, err = pix.SyntheticRGB(size, size, seed)
+			rgb, err = pix.SyntheticRGB(o.size, o.size, o.seed)
 			if err == nil {
 				in, err = pix.BayerGRBG(rgb)
 			}
@@ -301,7 +373,7 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 		if err != nil {
 			return nil, err
 		}
-		cfg := debayer.Config{Workers: workers}
+		cfg := debayer.Config{Workers: o.workers, Snapshot: snapMode, Publish: policy}
 		ref, err := debayer.Precise(in, cfg)
 		if err != nil {
 			return nil, err
@@ -316,19 +388,18 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 		}, nil
 	case "kmeans":
 		var in *pix.Image
-		var err error
-		if inPath != "" {
-			in, err = pix.ReadPNMFile(inPath)
+		if o.in != "" {
+			in, err = pix.ReadPNMFile(o.in)
 			if err == nil && in.C != 3 {
 				err = fmt.Errorf("kmeans needs an RGB (PPM) input")
 			}
 		} else {
-			in, err = pix.SyntheticRGB(size, size, seed)
+			in, err = pix.SyntheticRGB(o.size, o.size, o.seed)
 		}
 		if err != nil {
 			return nil, err
 		}
-		cfg := kmeans.Config{Workers: workers}
+		cfg := kmeans.Config{Workers: o.workers, Snapshot: snapMode, Publish: policy}
 		ref, err := kmeans.Precise(in, cfg)
 		if err != nil {
 			return nil, err
@@ -342,6 +413,6 @@ func build(app string, size, workers int, seed uint64, inPath string) (*appRun, 
 			ref:      ref, automa: r.Automaton, out: r.Out,
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown app %q", app)
+		return nil, fmt.Errorf("unknown app %q", o.app)
 	}
 }

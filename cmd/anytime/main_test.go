@@ -4,21 +4,103 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"anytime/internal/pix"
 )
 
+// testOpts returns the tool's defaults with small-run overrides applied —
+// the flag-parsing path the binary itself takes.
+func testOpts(t *testing.T, mutate func(*opts)) opts {
+	t.Helper()
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(&o)
+	return o
+}
+
+func TestDefaultWorkersTracksGOMAXPROCS(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); o.workers != want {
+		t.Errorf("default -workers = %d, want GOMAXPROCS %d", o.workers, want)
+	}
+	if o.workers < 1 {
+		t.Errorf("default -workers = %d, want at least 1", o.workers)
+	}
+	o, err = parseFlags([]string{"-workers", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.workers != 3 {
+		t.Errorf("-workers 3 parsed as %d", o.workers)
+	}
+}
+
+func TestPublishPolicyFlag(t *testing.T) {
+	for _, name := range []string{"", "every", "demand", "adaptive"} {
+		if _, err := publishPolicy(name); err != nil {
+			t.Errorf("policy %q rejected: %v", name, err)
+		}
+	}
+	if _, err := publishPolicy("sometimes"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
 func TestRunEveryAppPrecise(t *testing.T) {
 	for _, app := range []string{"conv2d", "histeq", "dwt53", "debayer", "kmeans"} {
-		if err := run(app, 32, 2, 1, 1.0, 0, "", "", "", false, false, ""); err != nil {
+		o := testOpts(t, func(o *opts) { o.app = app; o.size = 32; o.workers = 2 })
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", app, err)
 		}
 	}
 }
 
+func TestRunEveryAppTiled(t *testing.T) {
+	// The zero-copy publish path must leave the precise output bit-exact;
+	// run() itself verifies SNR against the precise baseline (+Inf when
+	// bit-exact would still pass, so assert via halt-to-completion which
+	// ends on the final snapshot).
+	for _, app := range []string{"conv2d", "histeq", "debayer", "kmeans"} {
+		o := testOpts(t, func(o *opts) {
+			o.app = app
+			o.size = 32
+			o.workers = 2
+			o.tiles = true
+		})
+		if err := run(o); err != nil {
+			t.Errorf("%s -tiles: %v", app, err)
+		}
+	}
+}
+
+func TestRunPublishPolicies(t *testing.T) {
+	for _, policy := range []string{"demand", "adaptive"} {
+		o := testOpts(t, func(o *opts) {
+			o.app = "conv2d"
+			o.size = 32
+			o.workers = 2
+			o.publish = policy
+		})
+		if err := run(o); err != nil {
+			t.Errorf("policy %s: %v", policy, err)
+		}
+	}
+	o := testOpts(t, func(o *opts) { o.publish = "sometimes"; o.size = 16 })
+	if err := run(o); err == nil {
+		t.Error("bogus -publish accepted")
+	}
+}
+
 func TestRunHalted(t *testing.T) {
-	if err := run("conv2d", 96, 2, 1, 0.3, 0, "", "", "", false, false, ""); err != nil {
+	o := testOpts(t, func(o *opts) { o.size = 96; o.workers = 2; o.halt = 0.3 })
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,7 +110,20 @@ func TestRunWithAcceptAndOutputs(t *testing.T) {
 	out := filepath.Join(dir, "out.pgm")
 	diff := filepath.Join(dir, "diff.pgm")
 	curve := filepath.Join(dir, "curve.json")
-	if err := run("conv2d", 64, 2, 1, 1.0, 10, "", out, diff, true, true, curve); err != nil {
+	o := testOpts(t, func(o *opts) {
+		o.size = 64
+		o.workers = 2
+		o.accept = 10
+		o.out = out
+		o.diff = diff
+		o.curve = curve
+		o.trace = true
+		o.telemetry = true
+		// Exercised with -tiles to cover the accept-mode fallback to clone
+		// snapshots.
+		o.tiles = true
+	})
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := pix.ReadPNMFile(out); err != nil {
@@ -60,13 +155,15 @@ func TestRunWithUserInput(t *testing.T) {
 	if err := pix.WritePNMFile(in, img); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("conv2d", 0, 2, 1, 1.0, 0, in, "", "", false, false, ""); err != nil {
+	o := testOpts(t, func(o *opts) { o.size = 0; o.workers = 2; o.in = in })
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownApp(t *testing.T) {
-	if err := run("nope", 16, 1, 1, 1.0, 0, "", "", "", false, false, ""); err == nil {
+	o := testOpts(t, func(o *opts) { o.app = "nope"; o.size = 16 })
+	if err := run(o); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
@@ -81,10 +178,13 @@ func TestBuildRejectsWrongChannelInputs(t *testing.T) {
 	if err := pix.WritePNMFile(rgbPath, rgb); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := build("conv2d", 0, 1, 1, rgbPath); err == nil {
+	buildOpts := func(app, in string) opts {
+		return testOpts(t, func(o *opts) { o.app = app; o.size = 0; o.workers = 1; o.in = in })
+	}
+	if _, err := build(buildOpts("conv2d", rgbPath)); err == nil {
 		t.Error("conv2d accepted an RGB input")
 	}
-	if _, err := build("kmeans", 0, 1, 1, rgbPath); err != nil {
+	if _, err := build(buildOpts("kmeans", rgbPath)); err != nil {
 		t.Errorf("kmeans rejected an RGB input: %v", err)
 	}
 	grayPath := filepath.Join(dir, "in.pgm")
@@ -95,7 +195,7 @@ func TestBuildRejectsWrongChannelInputs(t *testing.T) {
 	if err := pix.WritePNMFile(grayPath, gray); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := build("kmeans", 0, 1, 1, grayPath); err == nil {
+	if _, err := build(buildOpts("kmeans", grayPath)); err == nil {
 		t.Error("kmeans accepted a grayscale input")
 	}
 }

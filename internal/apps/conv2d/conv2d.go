@@ -51,9 +51,18 @@ type Config struct {
 	// Storage, if non-nil, routes input pixel reads through simulated
 	// approximate storage with the given per-bit read upset probability.
 	Storage *StorageConfig
+	// Snapshot selects how round snapshots are rendered. The default,
+	// pix.SnapshotClone, publishes immutable clones; pix.SnapshotTiles is
+	// the zero-copy publish path (see pix.TileCloner for the aliasing
+	// contract consumers must then honor).
+	Snapshot pix.SnapshotMode
+	// Publish selects when round snapshots are built and published. The
+	// default, core.PublishEveryRound, publishes at every round boundary.
+	Publish core.PublishPolicy
 	// OnSnapshot, if non-nil, is invoked after each publish with the
 	// number of output pixels computed so far and the published image.
-	// It runs on the stage goroutine.
+	// It runs on the stage goroutine; under pix.SnapshotTiles it must not
+	// retain img past the call.
 	OnSnapshot func(processed int, img *pix.Image)
 }
 
@@ -216,7 +225,10 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	filled := make([]bool, in.W*in.H)
+	snap, err := pix.NewSnapshotter(working, cfg.Workers, cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	half := cfg.KernelSize / 2
 	weights, wsum := kernelWeights(cfg.Kernel, cfg.KernelSize)
 	drop := uint(8 - cfg.PixelBits)
@@ -243,11 +255,11 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 			func(worker, dst int) error {
 				x, y := dst%in.W, dst/in.W
 				working.SetGray(x, y, convolvePixel(readers[worker], weights, wsum, in.W, in.H, half, x, y))
-				filled[dst] = true
+				snap.Mark(worker, dst)
 				return nil
 			},
 			func(processed int) (*pix.Image, error) {
-				img, err := pix.HoldFill(working, filled)
+				img, err := snap.Snapshot()
 				if err != nil {
 					return nil, err
 				}
@@ -256,7 +268,7 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 				}
 				return img, nil
 			},
-			core.RoundConfig{Granularity: cfg.Granularity, Workers: cfg.Workers})
+			core.RoundConfig{Granularity: cfg.Granularity, Workers: cfg.Workers, Policy: cfg.Publish})
 	})
 	if err != nil {
 		return nil, err

@@ -24,8 +24,17 @@ type Config struct {
 	// costs a full-image render, so it must stay coarse relative to the
 	// cheap per-pixel interpolation).
 	Granularity int
+	// Snapshot selects how round snapshots are rendered. The default,
+	// pix.SnapshotClone, publishes immutable clones; pix.SnapshotTiles is
+	// the zero-copy publish path (see pix.TileCloner for the aliasing
+	// contract consumers must then honor).
+	Snapshot pix.SnapshotMode
+	// Publish selects when round snapshots are built and published.
+	// Default core.PublishEveryRound.
+	Publish core.PublishPolicy
 	// OnSnapshot, if non-nil, is invoked after each publish with the
 	// number of output pixels computed so far and the published image.
+	// Under pix.SnapshotTiles it must not retain img past the call.
 	OnSnapshot func(processed int, img *pix.Image)
 }
 
@@ -152,22 +161,25 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	filled := make([]bool, in.W*in.H)
+	snap, err := pix.NewSnapshotter(working, cfg.Workers, cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	out := core.NewBuffer[*pix.Image]("debayer", nil)
 	a := core.New()
 	err = a.AddStage("interpolate", func(c *core.Context) error {
-		return sampling.Map(c, out, ord,
-			func(dst int) error {
+		return sampling.MapWorkers(c, out, ord,
+			func(worker, dst int) error {
 				x, y := dst%in.W, dst/in.W
 				r, g, b := interpolate(in, x, y)
 				working.Set(x, y, 0, r)
 				working.Set(x, y, 1, g)
 				working.Set(x, y, 2, b)
-				filled[dst] = true
+				snap.Mark(worker, dst)
 				return nil
 			},
 			func(processed int) (*pix.Image, error) {
-				img, err := pix.HoldFill(working, filled)
+				img, err := snap.Snapshot()
 				if err != nil {
 					return nil, err
 				}
@@ -176,7 +188,7 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 				}
 				return img, nil
 			},
-			core.RoundConfig{Granularity: cfg.Granularity, Workers: cfg.Workers})
+			core.RoundConfig{Granularity: cfg.Granularity, Workers: cfg.Workers, Policy: cfg.Publish})
 	})
 	if err != nil {
 		return nil, err

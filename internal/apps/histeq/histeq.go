@@ -50,8 +50,17 @@ type Config struct {
 	// is paid once at construction (the paper assumes near-data
 	// processing performs it in memory).
 	ReorderInput bool
+	// Snapshot selects how the apply stage renders round snapshots. The
+	// default, pix.SnapshotClone, publishes immutable clones;
+	// pix.SnapshotTiles is the zero-copy publish path (see pix.TileCloner
+	// for the aliasing contract consumers must then honor).
+	Snapshot pix.SnapshotMode
+	// Publish selects when the diffusive stages build and publish round
+	// snapshots. Default core.PublishEveryRound.
+	Publish core.PublishPolicy
 	// OnSnapshot, if non-nil, is invoked after each publish of the final
-	// output with the published image.
+	// output with the published image. Under pix.SnapshotTiles it must not
+	// retain img past the call.
 	OnSnapshot func(img *pix.Image)
 }
 
@@ -266,7 +275,7 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 				}
 				return merged, nil
 			},
-			core.RoundConfig{Granularity: histGran, Workers: cfg.Workers},
+			core.RoundConfig{Granularity: histGran, Workers: cfg.Workers, Policy: cfg.Publish},
 			true)
 	}); err != nil {
 		return nil, err
@@ -299,7 +308,10 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	filled := make([]bool, pixels)
+	snap, err := pix.NewSnapshotter(working, cfg.Workers, cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	if err := a.AddStage("apply", func(c *core.Context) error {
 		return core.AsyncConsume(c, lutBuf, func(s core.Snapshot[*LUT]) error {
 			lut := s.Value
@@ -308,12 +320,12 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 					for pos := lo; pos < hi; pos++ {
 						dst := outOrd.At(pos)
 						working.Pix[dst] = lut.Map[binOf(in.Pix[dst])]
-						filled[dst] = true
+						snap.Mark(worker, dst)
 					}
 					return nil
 				},
 				func(processed int) (*pix.Image, error) {
-					img, err := pix.HoldFill(working, filled)
+					img, err := snap.Snapshot()
 					if err != nil {
 						return nil, err
 					}
@@ -322,7 +334,7 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 					}
 					return img, nil
 				},
-				core.RoundConfig{Granularity: cfg.ApplyGranularity, Workers: cfg.Workers},
+				core.RoundConfig{Granularity: cfg.ApplyGranularity, Workers: cfg.Workers, Policy: cfg.Publish},
 				s.Final)
 		})
 	}); err != nil {

@@ -36,8 +36,17 @@ type Config struct {
 	// ClusterGranularity is the number of pixels sampled per published
 	// output snapshot. Default pixels/2.
 	ClusterGranularity int
+	// Snapshot selects how the cluster stage renders round snapshots. The
+	// default, pix.SnapshotClone, publishes immutable clones;
+	// pix.SnapshotTiles is the zero-copy publish path (see pix.TileCloner
+	// for the aliasing contract consumers must then honor).
+	Snapshot pix.SnapshotMode
+	// Publish selects when round snapshots are built and published.
+	// Default core.PublishEveryRound.
+	Publish core.PublishPolicy
 	// OnSnapshot, if non-nil, is invoked after each publish of the
-	// rendered output image.
+	// rendered output image. Under pix.SnapshotTiles it must not retain
+	// img past the call.
 	OnSnapshot func(img *pix.Image)
 }
 
@@ -281,7 +290,20 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	filled := make([]bool, n)
+	snap, err := pix.NewSnapshotter(working, cfg.Workers, cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	publishSnapshot := func() (*pix.Image, error) {
+		img, err := snap.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnSnapshot != nil {
+			cfg.OnSnapshot(img)
+		}
+		return img, nil
+	}
 	cfgWorkers := cfg.Workers
 
 	// Stage 1: diffusive clustering + coloring. Each Lloyd iteration is a
@@ -315,21 +337,12 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 						working.Pix[p*3] = ci[0]
 						working.Pix[p*3+1] = ci[1]
 						working.Pix[p*3+2] = ci[2]
-						filled[p] = true
+						snap.Mark(worker, p)
 					}
 					return nil
 				},
-				func(processed int) (*pix.Image, error) {
-					img, err := pix.HoldFill(working, filled)
-					if err != nil {
-						return nil, err
-					}
-					if cfg.OnSnapshot != nil {
-						cfg.OnSnapshot(img)
-					}
-					return img, nil
-				},
-				core.RoundConfig{Granularity: cfg.ClusterGranularity, Workers: cfgWorkers},
+				func(processed int) (*pix.Image, error) { return publishSnapshot() },
+				core.RoundConfig{Granularity: cfg.ClusterGranularity, Workers: cfgWorkers, Policy: cfg.Publish},
 				false)
 			if err != nil {
 				return err
@@ -359,21 +372,14 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 		return core.DiffusiveBatch(c, out, n,
 			func(worker, lo, hi int) error {
 				for pos := lo; pos < hi; pos++ {
-					writeRendered(in, working, cents, ord.At(pos))
+					p := ord.At(pos)
+					writeRendered(in, working, cents, p)
+					snap.Mark(worker, p)
 				}
 				return nil
 			},
-			func(processed int) (*pix.Image, error) {
-				img, err := pix.HoldFill(working, filled)
-				if err != nil {
-					return nil, err
-				}
-				if cfg.OnSnapshot != nil {
-					cfg.OnSnapshot(img)
-				}
-				return img, nil
-			},
-			core.RoundConfig{Granularity: cfg.ClusterGranularity, Workers: cfgWorkers},
+			func(processed int) (*pix.Image, error) { return publishSnapshot() },
+			core.RoundConfig{Granularity: cfg.ClusterGranularity, Workers: cfgWorkers, Policy: cfg.Publish},
 			true)
 	}); err != nil {
 		return nil, err

@@ -121,6 +121,35 @@ func BenchmarkCheckpointHooked(b *testing.B) {
 	}
 }
 
+// BenchmarkBufferLatestParallel hammers Latest from every P at once: with
+// the wait-free read path these loads scale instead of serializing on a
+// publisher mutex.
+func BenchmarkBufferLatestParallel(b *testing.B) {
+	buf := NewBuffer[int]("b", nil)
+	if _, err := buf.Publish(1, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := buf.Latest(); !ok {
+				b.Fatal("no snapshot")
+			}
+		}
+	})
+}
+
+func BenchmarkBufferDemanded(b *testing.B) {
+	buf := NewBuffer[int]("b", nil)
+	if _, err := buf.Publish(1, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Demanded()
+	}
+}
+
 func BenchmarkWaitNewerHot(b *testing.B) {
 	buf := NewBuffer[int]("b", nil)
 	if _, err := buf.Publish(1, false); err != nil {

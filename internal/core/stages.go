@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // This file provides the three stage-loop shapes of the paper:
@@ -41,22 +42,65 @@ func Iterative[T any](c *Context, out *Buffer[T], passes []func() (T, error)) er
 	return nil
 }
 
+// PublishPolicy selects when a diffusive stage constructs and publishes a
+// round snapshot. Snapshot construction is pure overhead relative to the
+// precise computation (paper §IV-C), so how often it runs decides the
+// automaton's cost of being anytime.
+type PublishPolicy int
+
+const (
+	// PublishEveryRound publishes after every round of Granularity updates
+	// — the paper's default granularity model (§III-B2).
+	PublishEveryRound PublishPolicy = iota
+	// PublishOnDemand skips snapshot construction while nobody has consumed
+	// the previous version (no Latest/WaitNewer reader and no observer):
+	// the consumer "processes whichever output happens to be in the buffer"
+	// (§III-C1), so refreshing an unread buffer buys nothing. A blocked
+	// reader or a consumed snapshot re-enables publishing at the next round
+	// boundary, and the final snapshot is always published.
+	PublishOnDemand
+	// PublishAdaptive widens the effective publish interval until snapshot
+	// construction stays within PublishBudget as a fraction of stage time —
+	// the granularity auto-tuning of §IV-C1 aimed at a fixed overhead
+	// target instead of a fixed update count.
+	PublishAdaptive
+)
+
+// DefaultPublishBudget is the adaptive policy's snapshot-overhead target
+// when RoundConfig.PublishBudget is zero: publishing may consume at most
+// this fraction of the stage's wall time.
+const DefaultPublishBudget = 0.1
+
 // RoundConfig tunes a diffusive stage's execution.
 type RoundConfig struct {
 	// Granularity is the number of updates applied between successive
-	// publishes. It controls how early and how often approximate outputs
-	// become visible. Zero selects total/32 (at least 1).
+	// publish opportunities. It controls how early and how often
+	// approximate outputs become visible. Zero selects total/32 (at least
+	// 1).
 	Granularity int
 	// Workers is the number of goroutines applying updates within a round
 	// (the multi-threaded sampling of §IV-C1). Zero selects 1. When
 	// Workers > 1, apply must be safe for concurrent calls with distinct
 	// positions.
 	Workers int
+	// Policy selects when round snapshots are constructed and published.
+	// The zero value is PublishEveryRound.
+	Policy PublishPolicy
+	// PublishBudget is PublishAdaptive's target ceiling for the fraction of
+	// stage time spent building and publishing snapshots, in (0, 1). Zero
+	// selects DefaultPublishBudget. Ignored by the other policies.
+	PublishBudget float64
 }
 
 func (cfg RoundConfig) withDefaults(total int) (RoundConfig, error) {
 	if cfg.Granularity < 0 || cfg.Workers < 0 {
 		return cfg, fmt.Errorf("core: negative round config %+v", cfg)
+	}
+	if cfg.Policy < PublishEveryRound || cfg.Policy > PublishAdaptive {
+		return cfg, fmt.Errorf("core: unknown publish policy %d", cfg.Policy)
+	}
+	if cfg.PublishBudget < 0 || cfg.PublishBudget >= 1 {
+		return cfg, fmt.Errorf("core: publish budget %v out of range [0, 1)", cfg.PublishBudget)
 	}
 	if cfg.Granularity == 0 {
 		cfg.Granularity = total / 32
@@ -66,6 +110,9 @@ func (cfg RoundConfig) withDefaults(total int) (RoundConfig, error) {
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
+	}
+	if cfg.PublishBudget == 0 {
+		cfg.PublishBudget = DefaultPublishBudget
 	}
 	return cfg, nil
 }
@@ -102,42 +149,11 @@ func DiffusiveWorkers[T any](c *Context, out *Buffer[T], total int, apply func(w
 // pass over the parent's final snapshot may mark the child's buffer final,
 // so intermediate passes run with markFinal = false.
 func DiffusivePass[T any](c *Context, out *Buffer[T], total int, apply func(worker, pos int) error, snapshot func(processed int) (T, error), cfg RoundConfig, markFinal bool) error {
-	if total < 0 {
-		return fmt.Errorf("core: diffusive stage %q has negative total %d", c.Name(), total)
-	}
-	cfg, err := cfg.withDefaults(total)
-	if err != nil {
-		return err
-	}
-	if total == 0 {
-		v, err := snapshot(0)
-		if err != nil {
-			return err
-		}
-		_, err = out.Publish(v, markFinal)
-		return err
-	}
-	for done := 0; done < total; {
-		if err := c.Checkpoint(); err != nil {
-			return err
-		}
-		n := cfg.Granularity
-		if done+n > total {
-			n = total - done
-		}
-		if err := applyRound(done, n, cfg.Workers, apply); err != nil {
-			return err
-		}
-		done += n
-		v, err := snapshot(done)
-		if err != nil {
-			return err
-		}
-		if _, err := out.Publish(v, markFinal && done == total); err != nil {
-			return err
-		}
-	}
-	return nil
+	return diffusiveRun(c, out, total,
+		func(cfg RoundConfig, start, n int) error {
+			return applyRound(start, n, cfg.Workers, apply)
+		},
+		snapshot, cfg, markFinal)
 }
 
 // DiffusiveBatch is DiffusivePass for stages whose per-update work is tiny
@@ -147,6 +163,20 @@ func DiffusivePass[T any](c *Context, out *Buffer[T], total int, apply func(work
 // per worker; as with DiffusiveWorkers, a given worker's chunks execute
 // sequentially, so worker-private accumulators are safe.
 func DiffusiveBatch[T any](c *Context, out *Buffer[T], total int, apply func(worker, lo, hi int) error, snapshot func(processed int) (T, error), cfg RoundConfig, markFinal bool) error {
+	return diffusiveRun(c, out, total,
+		func(cfg RoundConfig, start, n int) error {
+			return applyRoundBatch(start, n, cfg.Workers, apply)
+		},
+		snapshot, cfg, markFinal)
+}
+
+// diffusiveRun is the shared round loop of the diffusive stage shapes: it
+// applies rounds through applyRange and publishes snapshots as the round
+// config's publish policy dictates. A skipped round's updates are simply
+// covered by the next snapshot that does get built — diffusive updates are
+// cumulative, so every published version reflects all updates applied so
+// far regardless of how many publish opportunities were skipped.
+func diffusiveRun[T any](c *Context, out *Buffer[T], total int, applyRange func(cfg RoundConfig, start, n int) error, snapshot func(processed int) (T, error), cfg RoundConfig, markFinal bool) error {
 	if total < 0 {
 		return fmt.Errorf("core: diffusive stage %q has negative total %d", c.Name(), total)
 	}
@@ -162,6 +192,7 @@ func DiffusiveBatch[T any](c *Context, out *Buffer[T], total int, apply func(wor
 		_, err = out.Publish(v, markFinal)
 		return err
 	}
+	gov := publishGovernor{cfg: cfg}
 	for done := 0; done < total; {
 		if err := c.Checkpoint(); err != nil {
 			return err
@@ -170,19 +201,81 @@ func DiffusiveBatch[T any](c *Context, out *Buffer[T], total int, apply func(wor
 		if done+n > total {
 			n = total - done
 		}
-		if err := applyRoundBatch(done, n, cfg.Workers, apply); err != nil {
+		gov.beginApply()
+		if err := applyRange(cfg, done, n); err != nil {
 			return err
 		}
+		gov.endApply()
 		done += n
+		final := done == total
+		if !final && !gov.shouldPublish(out) {
+			continue
+		}
+		gov.beginPublish()
 		v, err := snapshot(done)
 		if err != nil {
 			return err
 		}
-		if _, err := out.Publish(v, markFinal && done == total); err != nil {
+		if _, err := out.Publish(v, markFinal && final); err != nil {
 			return err
 		}
+		gov.endPublish()
 	}
 	return nil
+}
+
+// publishGovernor implements the publish policies for the diffusive round
+// loop. It only reads the clock under PublishAdaptive, so the default
+// policy's round loop stays timestamp-free.
+type publishGovernor struct {
+	cfg         RoundConfig
+	applyTime   time.Duration
+	publishTime time.Duration
+	mark        time.Time
+}
+
+func (g *publishGovernor) timed() bool { return g.cfg.Policy == PublishAdaptive }
+
+func (g *publishGovernor) beginApply() {
+	if g.timed() {
+		g.mark = time.Now()
+	}
+}
+
+func (g *publishGovernor) endApply() {
+	if g.timed() {
+		g.applyTime += time.Since(g.mark)
+	}
+}
+
+func (g *publishGovernor) beginPublish() {
+	if g.timed() {
+		g.mark = time.Now()
+	}
+}
+
+func (g *publishGovernor) endPublish() {
+	if g.timed() {
+		g.publishTime += time.Since(g.mark)
+	}
+}
+
+// shouldPublish decides whether this round boundary builds a snapshot (the
+// final round always does; the loop never asks about it).
+func (g *publishGovernor) shouldPublish(demand interface{ Demanded() bool }) bool {
+	switch g.cfg.Policy {
+	case PublishOnDemand:
+		return demand.Demanded()
+	case PublishAdaptive:
+		// Publish while cumulative snapshot overhead sits within budget:
+		// each (expensive) publish pushes the ratio up, then apply rounds
+		// dilute it back under the target, so the cadence self-adjusts to
+		// spend ~PublishBudget of stage time on publishing.
+		spent := g.applyTime + g.publishTime
+		return spent == 0 || float64(g.publishTime) <= g.cfg.PublishBudget*float64(spent)
+	default:
+		return true
+	}
 }
 
 // applyRoundBatch splits [start, start+n) into contiguous per-worker chunks.

@@ -93,6 +93,7 @@ func (p Profile) WriteCSV(w io.Writer) error {
 type Collector struct {
 	ref   *pix.Image
 	total int // total sample size for Fraction, 0 if unused
+	copy  bool
 
 	mu     sync.Mutex
 	start  time.Time
@@ -112,6 +113,17 @@ func NewCollector(ref *pix.Image, sampleTotal int) *Collector {
 	return &Collector{ref: ref, total: sampleTotal}
 }
 
+// CopyOnRecord makes Record deep-copy each snapshot instead of retaining
+// the published pointer. Required when the observed stage publishes through
+// the zero-copy tile ring (pix.SnapshotTiles), whose snapshots are reused
+// after ring-depth further publishes; a collector retains images until
+// Finish, far past that window. Call it before the automaton starts.
+func (c *Collector) CopyOnRecord() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.copy = true
+}
+
 // Begin marks the automaton's start time.
 func (c *Collector) Begin() {
 	c.mu.Lock()
@@ -120,13 +132,17 @@ func (c *Collector) Begin() {
 	c.points = c.points[:0]
 }
 
-// Record stores one published snapshot. img must not be mutated after the
-// call (published automaton snapshots never are). processed may be 0 when
+// Record stores one published snapshot. Unless CopyOnRecord is set, img
+// must stay immutable after the call (clone-mode automaton snapshots are;
+// tile-ring snapshots are not — see CopyOnRecord). processed may be 0 when
 // the producing stage does not report sample sizes.
 func (c *Collector) Record(processed int, img *pix.Image) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.copy {
+		img = img.Clone()
+	}
 	c.points = append(c.points, rawPoint{at: now.Sub(c.start), img: img, processed: processed})
 }
 

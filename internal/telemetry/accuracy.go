@@ -24,6 +24,7 @@ type AccuracyRecorder struct {
 	ref *pix.Image
 
 	mu      sync.Mutex
+	copy    bool
 	start   time.Time
 	samples []accuracySample
 	curve   []AccuracySample // lazily computed cache, invalidated on record
@@ -55,6 +56,19 @@ func NewAccuracyRecorder(ref *pix.Image) *AccuracyRecorder {
 	return &AccuracyRecorder{ref: ref, start: time.Now()}
 }
 
+// CopyOnRecord makes the recorder deep-copy each published image instead of
+// retaining the snapshot pointer. Required when the observed stage
+// publishes through the zero-copy tile ring (pix.SnapshotTiles): the
+// recorder holds images until export, far past the ring's reuse window.
+// Recording then costs a full-image copy per publish — exactly the overhead
+// the ring removed — so enable it only on instrumented runs. Call it before
+// the automaton starts.
+func (r *AccuracyRecorder) CopyOnRecord() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.copy = true
+}
+
 // Begin (re)sets the curve's time origin and discards prior samples. Call
 // it immediately before starting the automaton.
 func (r *AccuracyRecorder) Begin() {
@@ -76,11 +90,15 @@ func (r *AccuracyRecorder) record(s core.Snapshot[*pix.Image]) {
 	now := time.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	img := s.Value
+	if r.copy {
+		img = img.Clone()
+	}
 	r.samples = append(r.samples, accuracySample{
 		at:      now.Sub(r.start),
 		version: s.Version,
 		final:   s.Final,
-		img:     s.Value,
+		img:     img,
 	})
 	r.curve = nil
 }
