@@ -1,0 +1,118 @@
+package conform
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anytime/internal/core"
+)
+
+// chaosScheduler is the harness's seeded virtual scheduler: it compiles a
+// Schedule's perturbations into per-stage plans keyed by checkpoint
+// ordinal and drives them through core.Hooks. Because a stage's checkpoint
+// sequence is a deterministic function of its own loop, "stall stage X at
+// its 7th checkpoint" fires at the same point of X's execution on every
+// run with the same seed — the OS may interleave the other stages
+// differently, which is precisely the nondeterminism the invariants must
+// be robust to.
+type chaosScheduler struct {
+	auto  *core.Automaton
+	plans map[string]*stagePlan
+	edge  time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// pausers tracks the helper goroutines that re-open the pause gate, so
+	// a run can drain them before tearing down.
+	pausers sync.WaitGroup
+}
+
+type stagePlan struct {
+	counter atomic.Int64
+	pauses  map[int]time.Duration
+	delays  map[int]time.Duration
+	stopAt  int
+}
+
+// newChaosScheduler compiles the schedule for an automaton whose stages
+// are named by stages. The returned scheduler's hooks must be attached
+// with SetHooks before Start.
+func newChaosScheduler(auto *core.Automaton, stages []string, s Schedule) *chaosScheduler {
+	c := &chaosScheduler{
+		auto:   auto,
+		plans:  make(map[string]*stagePlan, len(stages)),
+		edge:   s.EdgeDelay,
+		stopCh: make(chan struct{}),
+	}
+	plan := func(stage string) *stagePlan {
+		p := c.plans[stage]
+		if p == nil {
+			p = &stagePlan{pauses: map[int]time.Duration{}, delays: map[int]time.Duration{}}
+			c.plans[stage] = p
+		}
+		return p
+	}
+	for _, name := range stages {
+		plan(name)
+	}
+	for _, pp := range s.Pauses {
+		plan(pp.Stage).pauses[pp.At] = pp.Dur
+	}
+	for _, d := range s.Delays {
+		plan(d.Stage).delays[d.At] = d.Dur
+	}
+	if s.Stop.Kind == StopAtCheckpoint {
+		plan(s.Stop.Stage).stopAt = s.Stop.Count
+	}
+	return c
+}
+
+// trigger requests the interrupt; the run supervisor performs the actual
+// Stop (an observer cannot: Stop blocks until every stage exits, and the
+// observer runs on a stage goroutine).
+func (c *chaosScheduler) trigger() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+}
+
+// hooks returns the core.Hooks implementing the compiled plan.
+func (c *chaosScheduler) hooks() *core.Hooks {
+	return &core.Hooks{
+		Checkpoint: func(stage string, wait time.Duration) {
+			p := c.plans[stage]
+			if p == nil {
+				return
+			}
+			n := int(p.counter.Add(1))
+			if d, ok := p.delays[n]; ok {
+				time.Sleep(d)
+			}
+			if d, ok := p.pauses[n]; ok {
+				// Close the pause gate; a helper re-opens it after d. The
+				// pausing stage itself blocks at its next checkpoint, so
+				// the resume must come from outside the pipeline.
+				c.auto.Pause()
+				c.pausers.Add(1)
+				go func() {
+					defer c.pausers.Done()
+					time.Sleep(d)
+					c.auto.Resume()
+				}()
+			}
+			if p.stopAt != 0 && n == p.stopAt {
+				c.trigger()
+			}
+		},
+		EdgeWait: func(stage, buffer string, after core.Version) {
+			if c.edge > 0 {
+				time.Sleep(c.edge)
+			}
+		},
+		EdgeRecv: func(stage string) {
+			if c.edge > 0 {
+				time.Sleep(c.edge)
+			}
+		},
+	}
+}

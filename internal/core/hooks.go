@@ -29,6 +29,18 @@ type Hooks struct {
 	// the stage spent blocked at the pause gate — zero in the common
 	// unpaused case, where the checkpoint costs one closed-channel receive.
 	Checkpoint func(stage string, wait time.Duration)
+	// EdgeWait fires on the consumer goroutine of an asynchronous pipeline
+	// edge (AsyncConsume) just before it blocks for the next parent
+	// snapshot, with the consuming stage, the parent buffer's name, and the
+	// version the consumer waits to supersede. Chaos harnesses inject
+	// delay/starvation faults here; a telemetry layer can watch how far
+	// each child runs behind its parent.
+	EdgeWait func(stage, buffer string, after Version)
+	// EdgeRecv fires on the consumer goroutine of a synchronous pipeline
+	// edge (SyncConsume) just before it receives the next in-flight update
+	// from its stream. Like EdgeWait, it is a fault-injection and
+	// observation point for the edge's backpressure behavior.
+	EdgeRecv func(stage string)
 }
 
 // SetHooks attaches hooks to the automaton. It must be called before Start;

@@ -319,3 +319,63 @@ func TestPublishAdaptiveStaysNearBudget(t *testing.T) {
 		t.Errorf("final snapshot = %+v, %v", s, ok)
 	}
 }
+
+// TestPublishAdaptiveZeroBudgetStillPublishesFinal pins the anytime
+// contract against the governor: PublishBudget == 0 means "use the
+// default", not "never publish", and even the stingiest governor state
+// must not suppress the final precise snapshot (Property 1 outranks the
+// overhead target).
+func TestPublishAdaptiveZeroBudgetStillPublishesFinal(t *testing.T) {
+	out := NewBuffer[int]("out", nil)
+	const total, gran = 256, 4
+	err := stageEnv(t, func(c *Context) error {
+		return Diffusive(c, out, total,
+			func(pos int) error { return nil },
+			func(processed int) (int, error) {
+				time.Sleep(time.Millisecond) // make every snapshot look expensive
+				return processed, nil
+			},
+			RoundConfig{Granularity: gran, Policy: PublishAdaptive}) // budget left zero
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := out.Latest()
+	if !ok {
+		t.Fatal("zero-budget adaptive stage never published")
+	}
+	if !s.Final || s.Value != total {
+		t.Errorf("terminal snapshot = %+v, want final with value %d", s, total)
+	}
+}
+
+// TestPublishAdaptiveTinyBudgetStillPublishesFinal drives the same
+// contract to its pathological corner: a budget so small the governor
+// wants to skip every boundary. Intermediate rounds may all be suppressed;
+// the final round must still land, and it must be the precise output.
+func TestPublishAdaptiveTinyBudgetStillPublishesFinal(t *testing.T) {
+	out := NewBuffer[int]("out", nil)
+	const total, gran = 256, 4
+	snapshots := 0
+	err := stageEnv(t, func(c *Context) error {
+		return Diffusive(c, out, total,
+			func(pos int) error { return nil },
+			func(processed int) (int, error) {
+				snapshots++
+				time.Sleep(time.Millisecond)
+				return processed, nil
+			},
+			RoundConfig{Granularity: gran, Policy: PublishAdaptive, PublishBudget: 1e-9})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := out.Latest()
+	if !ok || !s.Final || s.Value != total {
+		t.Fatalf("terminal snapshot = %+v, %v; want final with value %d", s, ok, total)
+	}
+	if snapshots < 1 {
+		t.Error("final snapshot was never built")
+	}
+	t.Logf("tiny budget built %d of %d boundary snapshots", snapshots, total/gran)
+}

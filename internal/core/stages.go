@@ -358,6 +358,9 @@ func AsyncConsume[I any](c *Context, in *Buffer[I], fn func(snap Snapshot[I]) er
 		if err := c.Checkpoint(); err != nil {
 			return err
 		}
+		if h := c.hooks; h != nil && h.EdgeWait != nil {
+			h.EdgeWait(c.name, in.Name(), last)
+		}
 		snap, err := in.WaitNewer(c.Context(), last)
 		if err != nil {
 			return ErrStopped

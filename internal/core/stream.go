@@ -95,6 +95,9 @@ func SyncConsume[X any](c *Context, in *Stream[X], fold func(u Update[X]) error)
 		if err := c.Checkpoint(); err != nil {
 			return err
 		}
+		if h := c.hooks; h != nil && h.EdgeRecv != nil {
+			h.EdgeRecv(c.name)
+		}
 		u, ok, err := in.Recv(c)
 		if err != nil {
 			return err

@@ -1,0 +1,147 @@
+package core
+
+// Regression tests for the CAS-armed wakeup in Buffer.WaitNewer.
+//
+// The suspected race: a waiter loads cur (too old), arms the wakeup
+// channel, and a publish lands in between — if Publish could miss the
+// armed channel, the waiter would sleep forever on a buffer that already
+// holds what it wants (a lost wakeup). The implementation closes the
+// window in two directions: Publish stores cur BEFORE swapping the waiter
+// channel, and WaitNewer re-checks cur AFTER arming. Go's atomics are
+// sequentially consistent, so either the waiter's re-check observes the
+// new snapshot, or its arm predates the publish's swap and the swap
+// observes (and closes) the channel. These tests pin that reasoning with
+// schedules that force each side of the window, plus a stress mix meant
+// to be run under -race.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitDeadline bounds every blocking wait: a waiter still blocked after
+// this long on a buffer that has the version it wants has lost a wakeup.
+const waitDeadline = 5 * time.Second
+
+// TestWaitNewerPublishBetweenCheckAndArm forces the racy window directly:
+// many rounds of one waiter and one publisher released by a barrier at the
+// same instant, so publishes repeatedly land between the waiter's first
+// version check and its channel arm. A lost wakeup turns into a deadline
+// error rather than a hang.
+func TestWaitNewerPublishBetweenCheckAndArm(t *testing.T) {
+	t.Parallel()
+	const rounds = 2000
+	b := NewBuffer[int]("armrace", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), waitDeadline)
+	defer cancel()
+
+	for round := 1; round <= rounds; round++ {
+		var barrier sync.WaitGroup
+		barrier.Add(1)
+		got := make(chan error, 1)
+		go func() {
+			barrier.Wait()
+			s, err := b.WaitNewer(ctx, Version(round-1))
+			if err == nil && s.Version < Version(round) {
+				t.Errorf("round %d: woke with stale version %d", round, s.Version)
+			}
+			got <- err
+		}()
+		barrier.Done()
+		if _, err := b.Publish(round, false); err != nil {
+			t.Fatalf("publish %d: %v", round, err)
+		}
+		if err := <-got; err != nil {
+			t.Fatalf("round %d: waiter lost the wakeup: %v", round, err)
+		}
+	}
+}
+
+// TestWaitNewerNoLostWakeupStress is the adversarial mix: one publisher
+// racing many waiters that re-arm for every version, so the CAS on the
+// shared waiter channel is contended from all sides while publishes stream
+// past. Every waiter must observe the final version within the deadline.
+func TestWaitNewerNoLostWakeupStress(t *testing.T) {
+	t.Parallel()
+	const (
+		versions = 500
+		waiters  = 8
+	)
+	b := NewBuffer[int]("stress", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), waitDeadline)
+	defer cancel()
+
+	var lagged atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var after Version
+			for {
+				s, err := b.WaitNewer(ctx, after)
+				if err != nil {
+					t.Errorf("WaitNewer(%d) lost a wakeup: %v", after, err)
+					return
+				}
+				if s.Version <= after {
+					t.Errorf("WaitNewer(%d) returned stale version %d", after, s.Version)
+					return
+				}
+				if s.Version > after+1 {
+					lagged.Add(1) // skipped ahead: legal anytime behavior
+				}
+				after = s.Version
+				if s.Version == versions {
+					return
+				}
+			}
+		}()
+	}
+	for v := 1; v <= versions; v++ {
+		if _, err := b.Publish(v, false); err != nil {
+			t.Fatalf("publish %d: %v", v, err)
+		}
+		if v%7 == 0 {
+			time.Sleep(time.Microsecond) // let waiters re-arm mid-stream
+		}
+	}
+	wg.Wait()
+	t.Logf("waiters skipped ahead %d times", lagged.Load())
+}
+
+// TestWaitNewerWakesAllSharersOfOneArm pins the channel-sharing path: when
+// several waiters join the same armed channel, one publish must release
+// them all — the Swap(nil) hands the channel to the closer, and late
+// joiners must not be left holding a channel nobody will ever close.
+func TestWaitNewerWakesAllSharersOfOneArm(t *testing.T) {
+	t.Parallel()
+	const waiters = 32
+	b := NewBuffer[int]("sharers", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), waitDeadline)
+	defer cancel()
+
+	var ready, wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		ready.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			if _, err := b.WaitNewer(ctx, 0); err != nil {
+				t.Errorf("sharer lost the wakeup: %v", err)
+			}
+		}()
+	}
+	ready.Wait()
+	// Give the waiters a moment to pile onto one armed channel, then
+	// publish exactly once: every sharer must come back.
+	time.Sleep(time.Millisecond)
+	if _, err := b.Publish(1, true); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,170 @@
+package perm
+
+// Property tests for the paper's bijectivity requirement (§III-B2): every
+// permutation constructor must produce a true bijection of [0, n), and
+// Partition must cover the order exactly once across any worker count.
+// Unlike order_test.go these do not trust Order.IsBijective — they count
+// occurrences independently, so a bug shared by a constructor and the
+// checker cannot hide.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// constructors enumerates every Order constructor under a common signature.
+func constructors() map[string]func(n int) (Order, error) {
+	return map[string]func(n int) (Order, error){
+		"Sequential":        Sequential,
+		"ReverseSequential": ReverseSequential,
+		"Tree1D":            Tree1D,
+		"TreeND-1":          func(n int) (Order, error) { return TreeND(n) },
+		"PseudoRandom-1":    func(n int) (Order, error) { return PseudoRandom(n, 1) },
+		"PseudoRandom-99":   func(n int) (Order, error) { return PseudoRandom(n, 99) },
+	}
+}
+
+// sweepSizes covers the shapes that break off-by-one permutation bugs:
+// degenerate, exact powers of two, their neighbours, and odd composites.
+var sweepSizes = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 255, 256, 257, 1000}
+
+// countOccurrences tallies how often each index of [0, n) appears in the
+// order, failing on any out-of-range value.
+func countOccurrences(t *testing.T, label string, o Order, n int) []int {
+	t.Helper()
+	if o.Len() != n {
+		t.Fatalf("%s: order length %d, want %d", label, o.Len(), n)
+	}
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := o.At(i)
+		if v < 0 || v >= n {
+			t.Fatalf("%s: position %d holds %d, outside [0, %d)", label, i, v, n)
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+func TestEveryConstructorIsBijection(t *testing.T) {
+	for name, mk := range constructors() {
+		for _, n := range sweepSizes {
+			label := fmt.Sprintf("%s(n=%d)", name, n)
+			o, err := mk(n)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			for v, c := range countOccurrences(t, label, o, n) {
+				if c != 1 {
+					t.Fatalf("%s: index %d visited %d times, want exactly once", label, v, c)
+				}
+			}
+			// The independent count and the package's own checker must agree.
+			if !o.IsBijective() {
+				t.Fatalf("%s: IsBijective() = false on a counted bijection", label)
+			}
+		}
+	}
+}
+
+func TestTreeNDGridsAreBijections(t *testing.T) {
+	grids := [][]int{
+		{2, 2}, {4, 4}, {8, 8}, {3, 5}, {5, 3}, {1, 7}, {7, 1},
+		{16, 9}, {9, 16}, {2, 3, 4}, {4, 3, 2}, {3, 3, 3}, {2, 2, 2, 2},
+	}
+	for _, dims := range grids {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		label := fmt.Sprintf("TreeND%v", dims)
+		o, err := TreeND(dims...)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for v, c := range countOccurrences(t, label, o, n) {
+			if c != 1 {
+				t.Fatalf("%s: linear index %d visited %d times, want exactly once", label, v, c)
+			}
+		}
+	}
+}
+
+// TestPartitionExactCoverAcrossWorkers verifies the paper's multi-threaded
+// division invariant: for every constructor, size, and worker count —
+// including more workers than elements — the union of the stripes visits
+// each index exactly once, and each stripe position maps back to a
+// distinct parent position.
+func TestPartitionExactCoverAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 2, 3, 4, 5, 7, 8, 16, 33}
+	for name, mk := range constructors() {
+		for _, n := range []int{0, 1, 5, 16, 31, 64, 100} {
+			o, err := mk(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("%s(n=%d)/workers=%d", name, n, workers)
+				stripes, err := o.Partition(workers)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if len(stripes) != workers {
+					t.Fatalf("%s: got %d stripes", label, len(stripes))
+				}
+				idxCounts := make([]int, n)
+				posCounts := make([]int, n)
+				total := 0
+				for w, s := range stripes {
+					for i := 0; i < s.Len(); i++ {
+						v := s.At(i)
+						if v < 0 || v >= n {
+							t.Fatalf("%s: worker %d local %d holds %d, outside [0, %d)", label, w, i, v, n)
+						}
+						idxCounts[v]++
+						p := s.Position(i)
+						if p < 0 || p >= n {
+							t.Fatalf("%s: worker %d local %d maps to parent position %d, outside [0, %d)", label, w, i, p, n)
+						}
+						posCounts[p]++
+						total++
+					}
+				}
+				if total != n {
+					t.Fatalf("%s: stripes visit %d positions, want %d", label, total, n)
+				}
+				for v := range idxCounts {
+					if idxCounts[v] != 1 {
+						t.Fatalf("%s: index %d covered %d times", label, v, idxCounts[v])
+					}
+					if posCounts[v] != 1 {
+						t.Fatalf("%s: parent position %d covered %d times", label, v, posCounts[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionWorkersExceedElements pins the degenerate stripes: with more
+// workers than elements, the surplus stripes must be empty rather than
+// aliasing positions of the busy ones.
+func TestPartitionWorkersExceedElements(t *testing.T) {
+	o, err := Tree1D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes, err := o.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, s := range stripes {
+		want := 0
+		if w < 3 {
+			want = 1
+		}
+		if s.Len() != want {
+			t.Errorf("worker %d: stripe length %d, want %d", w, s.Len(), want)
+		}
+	}
+}
