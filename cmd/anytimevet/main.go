@@ -1,0 +1,167 @@
+// Command anytimevet runs the repo's automaton-discipline analyzers
+// (internal/analysis): static proofs of the paper's §III invariants —
+// single-writer buffers, immutable snapshots, unforkable atomic state,
+// deterministic replay packages, nil-guarded telemetry hooks.
+//
+// Two modes:
+//
+//	go run ./cmd/anytimevet ./...           # standalone multichecker
+//	go vet -vettool=$(which anytimevet) ./... # unitchecker, driven by cmd/go
+//
+// Standalone mode loads, type-checks, and analyzes the named packages
+// (tests included; -tests=false excludes them) and exits 1 if any
+// diagnostic survives its //lint:ignore filter. Vet-tool mode speaks
+// cmd/go's unitchecker protocol: -V=full, -flags, and per-package .cfg
+// files with pre-built export data.
+//
+// Each analyzer can be disabled with -<name>=false, or the run restricted
+// by setting only some to true (go vet's multichecker convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"anytime/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, stderr *os.File) int {
+	// cmd/go probes the tool's identity and flag set before any package.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Println("anytimevet version v1 (anytime automaton discipline suite)")
+			return 0
+		case args[0] == "-flags":
+			printFlagDefs()
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("anytimevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tests    = fs.Bool("tests", true, "also analyze test files (standalone mode)")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		_        = fs.Int("c", -1, "(ignored; accepted for cmd/go compatibility)")
+		enables  = make(map[string]*bool)
+		fixNames []string
+	)
+	for _, a := range analysis.All() {
+		enables[a.Name] = fs.Bool(a.Name, false, "enable only "+a.Name+" (default: all)")
+		fixNames = append(fixNames, a.Name)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// Multichecker flag convention: explicitly-true flags select a subset;
+	// explicitly-false flags subtract from the full suite.
+	explicitTrue, explicitFalse := map[string]bool{}, map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if _, ok := enables[f.Name]; !ok {
+			return
+		}
+		if f.Value.String() == "true" {
+			explicitTrue[f.Name] = true
+		} else {
+			explicitFalse[f.Name] = true
+		}
+	})
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if len(explicitTrue) > 0 && !explicitTrue[a.Name] {
+			continue
+		}
+		if explicitFalse[a.Name] {
+			continue
+		}
+		analyzers = append(analyzers, a)
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], analyzers, *jsonOut, stderr)
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return standalone(rest, analyzers, *tests, *jsonOut, stderr)
+}
+
+func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, jsonOut bool, stderr *os.File) int {
+	fset := token.NewFileSet()
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "anytimevet:", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(fset, wd, patterns, tests)
+	if err != nil {
+		fmt.Fprintln(stderr, "anytimevet:", err)
+		return 1
+	}
+	found := false
+	// The same file can be analyzed under its base package and its test
+	// variant when both are targets (the loader prevents the common case,
+	// but patterns can name both); dedupe on position+analyzer+message.
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(fset, pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "anytimevet: %s: %v\n", pkg.ID, err)
+			return 1
+		}
+		for _, d := range diags {
+			key := fmt.Sprintf("%s|%s|%s", fset.Position(d.Pos), d.Analyzer, d.Message)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			found = true
+			printDiag(stderr, fset, d, jsonOut)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+func printDiag(stderr *os.File, fset *token.FileSet, d analysis.Diagnostic, jsonOut bool) {
+	pos := fset.Position(d.Pos)
+	if jsonOut {
+		fmt.Printf("{\"posn\":%q,\"analyzer\":%q,\"message\":%q}\n", pos, d.Analyzer, d.Message)
+		return
+	}
+	fmt.Fprintf(stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+}
+
+// printFlagDefs answers cmd/go's -flags probe: a JSON array describing the
+// flags a `go vet -vettool` invocation may pass through.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := []flagDef{{Name: "tests", Bool: true, Usage: "analyze test files"}}
+	for _, a := range analysis.All() {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	fmt.Print("[")
+	for i, d := range defs {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("{\"Name\":%q,\"Bool\":%v,\"Usage\":%q}", d.Name, d.Bool, d.Usage)
+	}
+	fmt.Println("]")
+}

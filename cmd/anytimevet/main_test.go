@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// devNull gives the runs under test a sink for their diagnostics so the
+// test log stays readable.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestProbes covers the two queries cmd/go issues before handing over any
+// package: the version string and the flag definitions.
+func TestProbes(t *testing.T) {
+	if got := run([]string{"-V=full"}, devNull(t)); got != 0 {
+		t.Errorf("-V=full exited %d, want 0", got)
+	}
+	if got := run([]string{"-flags"}, devNull(t)); got != 0 {
+		t.Errorf("-flags exited %d, want 0", got)
+	}
+}
+
+// writeCfg materializes a unitchecker config for a single-file package with
+// no imports (so no export data is needed) and returns the cfg path and the
+// vetx path cmd/go would expect to appear.
+func writeCfg(t *testing.T, src string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetxPath = filepath.Join(dir, "p.vetx")
+	cfg := vetConfig{
+		ID:         "p",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "p",
+		GoFiles:    []string{"p.go"},
+		VetxOnly:   vetxOnly,
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+const dirtySrc = `package p
+
+type Hooks struct{ F func() }
+
+func call(h *Hooks) {
+	h.F()
+}
+`
+
+const cleanSrc = `package p
+
+type Hooks struct{ F func() }
+
+func call(h *Hooks) {
+	if h != nil && h.F != nil {
+		h.F()
+	}
+}
+`
+
+// TestUnitcheckConvicts drives the full vettool path on a planted hooknil
+// violation: exit code 2 (the vet diagnostics convention) and a vetx file
+// written for the build cache.
+func TestUnitcheckConvicts(t *testing.T) {
+	cfgPath, vetxPath := writeCfg(t, dirtySrc, false)
+	if got := run([]string{cfgPath}, devNull(t)); got != 2 {
+		t.Errorf("dirty package exited %d, want 2", got)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestUnitcheckClean passes a guarded package through the same path.
+func TestUnitcheckClean(t *testing.T) {
+	cfgPath, vetxPath := writeCfg(t, cleanSrc, false)
+	if got := run([]string{cfgPath}, devNull(t)); got != 0 {
+		t.Errorf("clean package exited %d, want 0", got)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestUnitcheckVetxOnly: when cmd/go only needs facts for a dependency, the
+// tool must write the vetx file and stay silent even about violations.
+func TestUnitcheckVetxOnly(t *testing.T) {
+	cfgPath, vetxPath := writeCfg(t, dirtySrc, true)
+	if got := run([]string{cfgPath}, devNull(t)); got != 0 {
+		t.Errorf("VetxOnly exited %d, want 0", got)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+// TestAnalyzerSelection: disabling hooknil must let the dirty package pass,
+// and selecting only an unrelated analyzer must too.
+func TestAnalyzerSelection(t *testing.T) {
+	cfgPath, _ := writeCfg(t, dirtySrc, false)
+	if got := run([]string{"-hooknil=false", cfgPath}, devNull(t)); got != 0 {
+		t.Errorf("-hooknil=false exited %d, want 0", got)
+	}
+	cfgPath2, _ := writeCfg(t, dirtySrc, false)
+	if got := run([]string{"-singlewriter", cfgPath2}, devNull(t)); got != 0 {
+		t.Errorf("-singlewriter only exited %d, want 0", got)
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+// A want-comment fixture engine in the style of
+// golang.org/x/tools/go/analysis/analysistest, on the standard library
+// alone: each fixture is a self-contained package under testdata/src/<name>
+// whose lines carry the diagnostics they must (and, by omission, must not)
+// provoke. Fixtures type-check for real — stdlib imports resolve through
+// `go list -export` — so the analyzers are tested against the same
+// types.Info shapes they see in production.
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads, type-checks, and analyzes testdata/src/<fixture> with
+// the single analyzer a, then compares diagnostics against want comments:
+//
+//	snap.Value.Pix[0] = 1 // want `write into memory aliased`
+//
+// Each backquoted (or double-quoted) pattern is a regexp that must match
+// one diagnostic reported on that line; unmatched diagnostics and
+// unmatched wants both fail the test.
+func RunFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+
+	exports, err := fixtureExports(dir, files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, err := CheckFiles(fset, fixture, "", files, exports, nil)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+	diags, err := RunPackage(fset, pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claimWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no %s diagnostic matched `%s`", w.pos, a.Name, w.re)
+		}
+	}
+}
+
+// fixtureExports maps the fixture's (transitive) stdlib imports to their
+// export data files so CheckFiles can resolve them.
+func fixtureExports(dir string, files []*ast.File) (map[string]string, error) {
+	imports := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "" && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	if len(imports) == 0 {
+		return nil, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Export"}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// want is one expected diagnostic: a line and a message pattern.
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantPattern tokenizes the patterns of a want comment: backquoted or
+// double-quoted Go string literals.
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				toks := wantPattern.FindAllString(rest, -1)
+				if len(toks) == 0 {
+					t.Errorf("%s: want comment has no quoted pattern: %s", pos, c.Text)
+					continue
+				}
+				for _, tok := range toks {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, tok, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, tok, err)
+						continue
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claimWant marks and returns the first unclaimed want on msg's line whose
+// pattern matches.
+func claimWant(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.pos.Filename != pos.Filename || w.pos.Line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

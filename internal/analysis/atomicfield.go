@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicFieldAnalyzer is the suite's copylocks analogue for lock-free
+// state: it reports by-value copies of types that (transitively) contain
+// sync/atomic values — core.Buffer's atomic.Pointer snapshot cell and
+// atomic.Uint64 demand watermark, snapshot cells, wakeup channels. Copying
+// such a struct forks its atomic state: the copy and the original diverge
+// silently, readers of the copy see a frozen buffer, and vet's copylocks
+// cannot help because the atomic types carry no mutex. Reported sites:
+// by-value parameters, results, and receivers; assignments and variable
+// initializers; call arguments; returns; and range clauses that copy
+// atomic-bearing elements.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc: "report by-value copies of structs containing sync/atomic values " +
+		"(copying forks the atomic state, e.g. core.Buffer's snapshot cell)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	seen := make(map[types.Type]string)
+
+	// path reports how t reaches an atomic value ("Buffer contains
+	// atomic.Pointer[...]"), or "" when it doesn't.
+	var path func(t types.Type) string
+	path = func(t types.Type) string {
+		t = types.Unalias(t)
+		if p, ok := seen[t]; ok {
+			return p
+		}
+		seen[t] = "" // cut recursion on cyclic types
+		var r string
+		switch u := t.(type) {
+		case *types.Named:
+			if pkg := u.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+				r = u.Obj().Name()
+				break
+			}
+			r = path(u.Underlying())
+			if r != "" {
+				r = u.Obj().Name() + " contains " + r
+			}
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if fr := path(u.Field(i).Type()); fr != "" {
+					r = fr
+					break
+				}
+			}
+		case *types.Array:
+			r = path(u.Elem())
+		}
+		seen[t] = r
+		return r
+	}
+
+	report := func(pos ast.Node, what string, t types.Type) {
+		if p := path(t); p != "" {
+			pass.Reportf(pos.Pos(), "%s copies %s by value: atomic state must be shared by pointer, never forked", what, p)
+		}
+	}
+
+	// checkFieldList flags by-value atomic-bearing parameter/result types.
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			report(f.Type, what, tv.Type)
+		}
+	}
+
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+			checkFieldList(n.Recv, "receiver")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if copiesValue(info, rhs) {
+					report(n.Lhs[i], "assignment", typeOf(info, rhs))
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				if copiesValue(info, v) {
+					report(v, "variable initialization", typeOf(info, v))
+				}
+			}
+		case *ast.CallExpr:
+			if isNewOrBuiltin(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if copiesValue(info, arg) {
+					report(arg, "call argument", typeOf(info, arg))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if copiesValue(info, r) {
+					report(r, "return", typeOf(info, r))
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := typeOf(info, n.Value)
+				if t == nil {
+					// A := range variable is a definition, not an expression:
+					// its type lives in Defs, not Types.
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+				}
+				if t != nil {
+					report(n.Value, "range clause", t)
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// copiesValue reports whether evaluating e yields a fresh copy of an
+// existing value (as opposed to constructing one in place): identifiers,
+// field selections, derefs, and indexes copy; composite literals, calls,
+// and conversions construct.
+func copiesValue(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, isVar := info.Uses[x].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// isNewOrBuiltin reports calls that never copy their argument's value
+// (new, len, cap, the print builtins) or type conversions.
+func isNewOrBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[f].(*types.Builtin); ok {
+			return true
+		}
+		if _, ok := info.Uses[f].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[f.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	return false
+}

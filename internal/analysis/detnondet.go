@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detScopes names the packages whose behavior must be a pure function of
+// their seeds: the conformance harness (a reported -conform.seed must
+// replay its failure bit-for-bit, and Shrink must converge), the schedule
+// simulator (golden figure outputs), and the memoized sequential goldens
+// the final-output checksums compare against. Fixture packages match by
+// package name so the analyzer is testable without the real import paths.
+var detScopes = []string{
+	"anytime/internal/conform",
+	"anytime/internal/sched",
+	"anytime/internal/apps/golden",
+}
+
+// DetNonDetAnalyzer reports nondeterminism sources inside the
+// replay-critical packages: wall-clock reads (time.Now/Since), the global
+// math/rand source (unseeded, process-global — schedule derivation must
+// flow from the harness's splitmix64 rng), and iteration over a map that
+// feeds ordered output (append, channel send, printf-family), whose order
+// changes run to run. Everywhere else these are fine and unreported.
+var DetNonDetAnalyzer = &Analyzer{
+	Name: "detnondet",
+	Doc: "report wall-clock, global math/rand, and order-dependent map " +
+		"iteration inside the deterministic replay packages (conform, sched, goldens)",
+	Run: runDetNonDet,
+}
+
+func runDetNonDet(pass *Pass) (interface{}, error) {
+	if !inDetScope(pass.Pkg) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleePkgFunc(info, n); fn != nil {
+				switch pkgOf(fn) {
+				case "time":
+					if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+						pass.Reportf(n.Pos(),
+							"time.%s in a deterministic-replay package: a reported seed must reproduce its run exactly; derive timing from the schedule instead",
+							fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !strings.HasPrefix(fn.Name(), "New") {
+						pass.Reportf(n.Pos(),
+							"global %s.%s in a deterministic-replay package: every random decision must flow from the schedule's seeded rng",
+							pathBase(pkgOf(fn)), fn.Name())
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := types.Unalias(tv.Type.Underlying()).(*types.Map); isMap {
+					if pos, what := ordersOutput(info, n.Body); pos != nil {
+						pass.Reportf(n.Pos(),
+							"map iteration order feeds %s (at line %d) in a deterministic-replay package: sort the keys first",
+							what, pass.Fset.Position(pos.Pos()).Line)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func inDetScope(pkg *types.Package) bool {
+	for _, s := range detScopes {
+		if pkg.Path() == s || strings.HasPrefix(pkg.Path(), s+"/") || pkg.Name() == pathBase(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// calleePkgFunc resolves a call to a package-level function (not a method,
+// not a builtin), or nil.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	case *ast.Ident:
+		obj = info.Uses[f]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Signature().Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+func pkgOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// ordersOutput scans a map-range body for statements whose effect depends
+// on iteration order: appending to a slice, sending on a channel, writing
+// formatted output. Commutative folds (sums, max, counting into another
+// map) pass.
+func ordersOutput(info *types.Info, body *ast.BlockStmt) (ast.Node, string) {
+	var found ast.Node
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found, what = n, "a channel send"
+		case *ast.CallExpr:
+			switch f := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if b, ok := info.Uses[f].(*types.Builtin); ok && b.Name() == "append" {
+					found, what = n, "an append"
+				}
+			case *ast.SelectorExpr:
+				name := f.Sel.Name
+				for _, p := range []string{"Print", "Fprint", "Sprint", "Write", "Log", "Error", "Fatal"} {
+					if strings.HasPrefix(name, p) {
+						found, what = n, "formatted output ("+name+")"
+						break
+					}
+				}
+			}
+		}
+		return found == nil
+	})
+	return found, what
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HookNilAnalyzer enforces the telemetry layer's one-pointer-check
+// guarantee: core.Hooks is a struct of optional callback fields, attached
+// as a nillable pointer, and the documented contract is that an automaton
+// with no hooks pays exactly one nil check on its hot paths — which means
+// every call through a Hooks field must be dominated by a nil check of the
+// pointer AND of the field:
+//
+//	if hooks != nil && hooks.Checkpoint != nil {
+//	        hooks.Checkpoint(stage, wait)
+//	}
+//
+// (or the if h := c.hooks; h != nil && h.X != nil form, or an early
+// `if hooks == nil { return }` guard). An unguarded call panics the stage
+// goroutine the first time an automaton runs without telemetry attached —
+// in production, under an interrupt, exactly when nobody is watching. The
+// analyzer matches any struct type named Hooks whose fields are funcs, so
+// it also covers fixture and future observer structs.
+var HookNilAnalyzer = &Analyzer{
+	Name: "hooknil",
+	Doc: "report calls through Hooks callback fields that are not guarded " +
+		"by nil checks on both the Hooks pointer and the field",
+	Run: runHookNil,
+}
+
+func runHookNil(pass *Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if namedName(s.Recv()) != "Hooks" {
+			return true
+		}
+		if _, isFunc := types.Unalias(s.Obj().Type()).Underlying().(*types.Signature); !isFunc {
+			return true
+		}
+		facts := guardFacts(call, stack)
+		needRecv := exprString(sel.X)
+		needField := needRecv + "." + sel.Sel.Name
+		_, isPtr := types.Unalias(typeOfExpr(info, sel.X)).(*types.Pointer)
+		if isPtr && !facts[needRecv] {
+			pass.Reportf(call.Pos(),
+				"call to %s without a nil check of %s: a Hooks pointer is optional by contract (one-pointer-check guarantee)",
+				needField, needRecv)
+		}
+		if !facts[needField] {
+			pass.Reportf(call.Pos(),
+				"call to %s without a nil check of the %s field: every Hooks callback is optional",
+				needField, sel.Sel.Name)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// guardFacts collects the expressions proven non-nil at the call site:
+// conjuncts of enclosing if conditions whose then-branch contains the
+// call, and early-return guards (`if x == nil { return }`) preceding the
+// call's statement in an enclosing block.
+func guardFacts(call ast.Node, stack []ast.Node) map[string]bool {
+	facts := make(map[string]bool)
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			if n.Body == child {
+				collectNonNil(n.Cond, false, facts)
+			}
+			if n.Else == child {
+				// else-branch of `x == nil` proves x non-nil.
+				collectNonNil(n.Cond, true, facts)
+			}
+		case *ast.BlockStmt:
+			for _, stmt := range n.List {
+				if stmt == child {
+					break
+				}
+				addEarlyReturnFacts(stmt, facts)
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Facts do not cross function boundaries: the literal may run
+			// on another goroutine, after the guard's truth has changed.
+			return facts
+		}
+		child = stack[i]
+	}
+	return facts
+}
+
+// collectNonNil walks a condition's &&-conjuncts (or, when negated, its
+// ||-disjuncts under De Morgan) recording `expr != nil` facts.
+func collectNonNil(cond ast.Expr, negated bool, facts map[string]bool) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		join, eq, neq := token.LAND, token.EQL, token.NEQ
+		if negated {
+			join, eq, neq = token.LOR, token.NEQ, token.EQL
+		}
+		switch c.Op {
+		case join:
+			collectNonNil(c.X, negated, facts)
+			collectNonNil(c.Y, negated, facts)
+		case neq:
+			if isNilIdent(c.Y) {
+				facts[exprString(c.X)] = true
+			} else if isNilIdent(c.X) {
+				facts[exprString(c.Y)] = true
+			}
+		case eq:
+			// no fact
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			collectNonNil(c.X, !negated, facts)
+		}
+	}
+}
+
+// addEarlyReturnFacts records facts established by a terminating guard:
+// `if x == nil { return }` (or ||-combined: `if x == nil || y == nil {
+// return }`) proves the operands non-nil for the statements after it.
+func addEarlyReturnFacts(stmt ast.Stmt, facts map[string]bool) {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || !terminates(ifs.Body) {
+		return
+	}
+	collectNonNil(ifs.Cond, true, facts)
+}
+
+// terminates reports whether a block always leaves the enclosing scope
+// (return, panic, continue, break, or goto as its last statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(last.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked analysis target.
+type Package struct {
+	// ID is the go list ImportPath, unique across the load (test variants
+	// carry a " [pkg.test]" suffix).
+	ID string
+	// PkgPath is the source import path (ForTest for test variants).
+	PkgPath string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given extra arguments and decodes
+// the JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to type information: module-local
+// packages come from the source-checked packages the loader has already
+// built (so test variants and their importers agree on type identity), and
+// everything else (the standard library) is read from the build cache's
+// export data as listed by `go list -export`.
+type exportImporter struct {
+	fset *token.FileSet
+	// exports maps a package ID to its export data file.
+	exports map[string]string
+	// checked maps a package ID to its source-checked package.
+	checked map[string]*types.Package
+	// importMap, when non-nil, rewrites source import paths (vendor and
+	// test-variant renaming) for the package currently being checked.
+	importMap map[string]string
+	gc        types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	imp := &exportImporter{
+		fset:    fset,
+		exports: exports,
+		checked: make(map[string]*types.Package),
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := imp.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+func (imp *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := imp.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := imp.checked[path]; ok {
+		return pkg, nil
+	}
+	return imp.gc.ImportFrom(path, dir, 0)
+}
+
+// newInfo returns a types.Info with every map the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseFiles parses the named files (relative names resolved against dir)
+// with comments retained.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load lists, parses, and type-checks the packages matching patterns under
+// dir, returning the analysis targets in dependency order. When tests is
+// set, in-package test files are analyzed (as their merged test variant)
+// along with external _test packages; the synthesized test-main packages
+// are always skipped. Standard-library dependencies are read from export
+// data, so the only toolchain requirement is a working `go list -export`.
+func Load(fset *token.FileSet, dir string, patterns []string, tests bool) ([]*Package, error) {
+	// The target set: what the patterns name, before dependency expansion.
+	targets, err := goList(dir, append([]string{"-json=ImportPath"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		want[t.ImportPath] = true
+	}
+
+	// The universe: targets plus every dependency, with export data
+	// compiled for the gc importer, plus test variants when requested.
+	args := []string{"-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Standard,ForTest,Export,GoFiles,CgoFiles,Imports,ImportMap,Module,Error")
+	universe, err := goList(dir, append(args, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	byID := make(map[string]*listPkg, len(universe))
+	var module []*listPkg // source-checked packages, in go list (dependency) order
+	for _, p := range universe {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		byID[p.ImportPath] = p
+		if strings.HasSuffix(p.ImportPath, ".test") && p.ForTest == "" {
+			continue // synthesized test main: generated sources, nothing to prove
+		}
+		if p.Module != nil && !p.Standard {
+			if len(p.CgoFiles) > 0 {
+				return nil, fmt.Errorf("package %s: cgo packages are not supported", p.ImportPath)
+			}
+			module = append(module, p)
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range module {
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		// "p [p.test]" → "p", "p_test [p.test]" → "p_test".
+		pkgPath := p.ImportPath
+		if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+			pkgPath = pkgPath[:i]
+		}
+		info := newInfo()
+		imp.importMap = p.ImportMap
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkgPath, fset, files, info)
+		imp.importMap = nil
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		imp.checked[p.ImportPath] = tpkg
+
+		// Analyze the package if the patterns asked for it: the base path
+		// matched directly, or this is its test variant / external test
+		// package. When the test variant of a base package is present it
+		// supersedes the base as the analysis target (same files plus the
+		// in-package tests); the base is still type-checked above because
+		// other packages import it.
+		analyzed := want[p.ImportPath] || (p.ForTest != "" && want[p.ForTest])
+		if tests && want[p.ImportPath] && hasTestVariant(universe, p.ImportPath) {
+			analyzed = false
+		}
+		if analyzed {
+			out = append(out, &Package{
+				ID:      p.ImportPath,
+				PkgPath: pkgPath,
+				Files:   files,
+				Types:   tpkg,
+				Info:    info,
+			})
+		}
+	}
+	return out, nil
+}
+
+// hasTestVariant reports whether the universe contains the merged test
+// variant of base (ImportPath "base [base.test]").
+func hasTestVariant(universe []*listPkg, base string) bool {
+	id := base + " [" + base + ".test]"
+	for _, p := range universe {
+		if p.ImportPath == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckFiles type-checks one package from parsed sources against export
+// data for its dependencies — the vet-tool (unitchecker) entry point,
+// where cmd/go supplies the export file map and import renaming. goVersion
+// may be empty.
+func CheckFiles(fset *token.FileSet, pkgPath, goVersion string, files []*ast.File, exports, importMap map[string]string) (*Package, error) {
+	imp := newExportImporter(fset, exports)
+	imp.importMap = importMap
+	info := newInfo()
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ID: pkgPath, PkgPath: pkgPath, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ParseFiles parses the named Go files (resolved against dir when
+// relative) with comments, for CheckFiles.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	return parseFiles(fset, dir, names)
+}

@@ -1,0 +1,71 @@
+// Package atomicfield exercises the atomicfield analyzer: by-value copies
+// of a Buffer whose snapshot cell and version counter are sync/atomic
+// values fork the atomic state silently.
+package atomicfield
+
+import "sync/atomic"
+
+// Snapshot is the published value.
+type Snapshot struct {
+	Value   int
+	Version uint64
+}
+
+// Buffer mirrors core.Buffer's atomic-bearing layout.
+type Buffer struct {
+	cur      atomic.Pointer[Snapshot]
+	consumed atomic.Uint64
+}
+
+func (b *Buffer) load() *Snapshot { return b.cur.Load() }
+
+// copyOnAssign forks the buffer: the clone's cells diverge from the
+// original's.
+func copyOnAssign(b *Buffer) {
+	clone := *b // want `assignment copies Buffer contains Pointer by value`
+	_ = clone.load()
+}
+
+// takeByValue copies at the call boundary.
+func takeByValue(b Buffer) uint64 { // want `parameter copies Buffer contains Pointer by value`
+	return b.consumed.Load()
+}
+
+// returnByValue copies on the way out, twice over.
+func returnByValue(b *Buffer) Buffer { // want `result copies Buffer contains Pointer by value`
+	return *b // want `return copies Buffer contains Pointer by value`
+}
+
+func sink(Buffer) {} // want `parameter copies Buffer contains Pointer by value`
+
+// passByValue copies into an argument slot.
+func passByValue(b *Buffer) {
+	sink(*b) // want `call argument copies Buffer contains Pointer by value`
+}
+
+// rangeCopies copies each element into the range variable.
+func rangeCopies(bufs []Buffer) {
+	for _, b := range bufs { // want `range clause copies Buffer contains Pointer by value`
+		_ = b.load()
+	}
+}
+
+// sharedByPointer is the correct discipline and must pass.
+func sharedByPointer(b *Buffer) *Buffer { return b }
+
+// constructInPlace builds a fresh buffer rather than copying one, and
+// passes pointers around; all fine.
+func constructInPlace() *Snapshot {
+	b := Buffer{}
+	p := &b
+	return p.load()
+}
+
+// rangePointers iterates pointers, sharing rather than forking.
+func rangePointers(bufs []*Buffer) uint64 {
+	var n uint64
+	for _, b := range bufs {
+		n += b.consumed.Load()
+	}
+	return n
+}

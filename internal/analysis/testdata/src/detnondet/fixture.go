@@ -1,0 +1,67 @@
+// This fixture is named conform to land in the detnondet analyzer's
+// deterministic-replay scope, which matches fixtures by package name.
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// wallClock reads the wall clock twice; replaying a seed cannot reproduce
+// either value.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time.Now in a deterministic-replay package`
+	return time.Since(t0) // want `time.Since in a deterministic-replay package`
+}
+
+// globalRand draws from the process-global source instead of the
+// schedule's seeded rng.
+func globalRand() int {
+	f := rand.Float64() // want `global rand.Float64 in a deterministic-replay package`
+	_ = f
+	return rand.Intn(16) // want `global rand.Intn in a deterministic-replay package`
+}
+
+// seededRand flows every decision from an explicit seed and must pass.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+// mapFeedsAppend emits keys in iteration order.
+func mapFeedsAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order feeds an append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapFeedsPrint writes formatted output in iteration order.
+func mapFeedsPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds formatted output`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// mapFeedsSend sends in iteration order.
+func mapFeedsSend(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order feeds a channel send`
+		ch <- k
+	}
+}
+
+// commutativeFold is order-independent and must pass.
+func commutativeFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sleeping delays without observing the clock and must pass.
+func sleeping() {
+	time.Sleep(time.Millisecond)
+}

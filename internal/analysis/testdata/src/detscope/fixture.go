@@ -1,0 +1,18 @@
+// This fixture's package name (apps) is outside the deterministic-replay
+// scope: the same wall-clock and global-rand calls that convict the
+// detnondet fixture must pass here untouched.
+package apps
+
+import (
+	"math/rand"
+	"time"
+)
+
+func frameBudget(start time.Time) time.Duration {
+	_ = time.Now()
+	return time.Since(start)
+}
+
+func jitter() int {
+	return rand.Intn(16)
+}

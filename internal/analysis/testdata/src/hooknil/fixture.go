@@ -1,0 +1,90 @@
+// Package hooknil exercises the hooknil analyzer: every call through a
+// Hooks callback field must be dominated by nil checks of both the Hooks
+// pointer and the field (the one-pointer-check guarantee).
+package hooknil
+
+// Hooks mirrors core.Hooks: a struct of optional callbacks.
+type Hooks struct {
+	StageStart func(stage string)
+	Checkpoint func(stage string, wait bool)
+}
+
+type automaton struct {
+	hooks *Hooks
+	value Hooks
+}
+
+// unguarded panics the stage goroutine the first time no telemetry is
+// attached.
+func unguarded(hooks *Hooks) {
+	hooks.StageStart("demo") // want `without a nil check of hooks` `without a nil check of the StageStart field`
+}
+
+// pointerOnlyGuard still dereferences a possibly-nil field.
+func pointerOnlyGuard(hooks *Hooks) {
+	if hooks != nil {
+		hooks.StageStart("demo") // want `without a nil check of the StageStart field`
+	}
+}
+
+// fieldOnlyGuard dereferences the pointer inside its own guard.
+func fieldOnlyGuard(hooks *Hooks) {
+	if hooks.Checkpoint != nil {
+		hooks.Checkpoint("demo", false) // want `without a nil check of hooks`
+	}
+}
+
+// guardOutsideGoroutine proves facts do not cross function boundaries: the
+// literal may run after the guard's truth has changed.
+func guardOutsideGoroutine(hooks *Hooks) {
+	if hooks != nil && hooks.StageStart != nil {
+		go func() {
+			hooks.StageStart("demo") // want `without a nil check of hooks` `without a nil check of the StageStart field`
+		}()
+	}
+}
+
+// fullGuard is the documented contract and must pass.
+func fullGuard(hooks *Hooks) {
+	if hooks != nil && hooks.StageStart != nil {
+		hooks.StageStart("demo")
+	}
+}
+
+// boundGuard is core's if-bound form and must pass.
+func (a *automaton) boundGuard() {
+	if h := a.hooks; h != nil && h.Checkpoint != nil {
+		h.Checkpoint("demo", true)
+	}
+}
+
+// earlyReturn proves terminating guards establish facts downstream.
+func earlyReturn(hooks *Hooks) {
+	if hooks == nil || hooks.StageStart == nil {
+		return
+	}
+	hooks.StageStart("demo")
+}
+
+// negatedGuard proves De Morgan handling and must pass.
+func negatedGuard(hooks *Hooks) {
+	if !(hooks == nil || hooks.StageStart == nil) {
+		hooks.StageStart("demo")
+	}
+}
+
+// elseBranch proves the negative branch of an equality guard and must pass.
+func elseBranch(hooks *Hooks) {
+	if hooks == nil || hooks.StageStart == nil {
+		// no telemetry attached
+	} else {
+		hooks.StageStart("demo")
+	}
+}
+
+// valueHooks holds Hooks by value: no pointer to check, only the field.
+func valueHooks(a *automaton) {
+	if a.value.Checkpoint != nil {
+		a.value.Checkpoint("demo", false)
+	}
+}

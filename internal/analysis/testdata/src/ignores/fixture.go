@@ -1,0 +1,32 @@
+// Package ignores proves the //lint:ignore escape hatch: a justified
+// directive on (or above) the flagged line silences exactly that analyzer
+// there. The fixture has no want comments — the suppressed violation must
+// produce no diagnostic at all.
+package ignores
+
+// Snapshot mirrors core.Snapshot.
+type Snapshot[T any] struct {
+	Value T
+}
+
+// Buffer mirrors core.Buffer's writer surface.
+type Buffer[T any] struct {
+	cur Snapshot[T]
+}
+
+func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
+	b.cur = Snapshot[T]{Value: v}
+	return b.cur, nil
+}
+
+func suppressedDoubleWriter() {
+	buf := &Buffer[int]{}
+	done := make(chan struct{})
+	go func() {
+		//lint:ignore singlewriter fixture plants a second writer to prove suppression works
+		buf.Publish(1, false)
+		close(done)
+	}()
+	<-done
+	buf.Publish(2, true)
+}

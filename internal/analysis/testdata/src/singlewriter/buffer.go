@@ -1,0 +1,25 @@
+// Package singlewriter exercises the singlewriter analyzer. The Buffer and
+// Snapshot shapes below mirror core's published surface; the analyzer
+// matches the type name, so the fixture stays self-contained.
+package singlewriter
+
+// Snapshot mirrors core.Snapshot.
+type Snapshot[T any] struct {
+	Value   T
+	Version uint64
+	Final   bool
+}
+
+// Buffer mirrors core.Buffer's writer surface.
+type Buffer[T any] struct {
+	cur Snapshot[T]
+}
+
+func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
+	b.cur = Snapshot[T]{Value: v, Version: b.cur.Version + 1, Final: final}
+	return b.cur, nil
+}
+
+func (b *Buffer[T]) Latest() (Snapshot[T], bool) {
+	return b.cur, b.cur.Version > 0
+}

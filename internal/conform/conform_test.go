@@ -48,8 +48,10 @@ func runSeed(t *testing.T, app App, seed uint64) {
 		return
 	}
 	shrunk := Shrink(app, s)
-	t.Fatalf("conform: %s violated invariants under seed %d\nviolations:\n%s\nschedule: %s\nshrunk:   %s\nreproduce: go test ./internal/conform -run 'Conform.*%s' -conform.seed=%d",
-		app.Name(), seed, res.FailureSummary(), s, shrunk, app.Name(), seed)
+	// The reproduce line must be copy-pasteable verbatim: t.Name() is the
+	// exact -run pattern (app.Name() is lowercase and matches no test).
+	t.Fatalf("conform: %s violated invariants under seed %d\nviolations:\n%s\nschedule: %s\nshrunk:   %s\nreproduce: go test ./internal/conform -run '^%s$' -conform.seed=%d",
+		app.Name(), seed, res.FailureSummary(), s, shrunk, t.Name(), seed)
 }
 
 // TestConformConv2D .. TestConformSyncPipe: the seeded schedule sweep per
