@@ -6,26 +6,33 @@
 //
 // Usage:
 //
-//	anytimed [-addr :8080] [-size 256] [-workers 2] [-pprof]
+//	anytimed [-addr :8080] [-size 256] [-workers 2] [-slots 8] [-queue 32]
+//	         [-warm 1] [-overload shed] [-shed-min 0.25] [-pprof]
 //
 // Endpoints (all return binary PGM/PPM with X-Anytime-* headers):
 //
-//	GET /blur?hold=50ms        blur a synthetic image, hold for a duration
+//	GET /blur?deadline=50ms    blur, best published output within 50ms
+//	                           (never empty-handed; may shed under load)
+//	GET /blur?hold=50ms        …or hold for a raw duration (may 504)
 //	GET /blur?accept=25        …or until the output reaches 25 dB
-//	GET /equalize?hold=10ms    histogram equalization, same knobs
-//	GET /cluster?hold=100ms    k-means clustering, same knobs
+//	GET /equalize?deadline=10ms  histogram equalization, same knobs
+//	GET /cluster?deadline=100ms  k-means clustering, same knobs
 //
-// Omitting both hold and accept returns the precise output.
+// Omitting every knob returns the bit-exact precise output.
 //
 // Operational endpoints:
 //
 //	GET /metrics               Prometheus text exposition: per-stage
 //	                           checkpoint latency, per-buffer publish
-//	                           counts and version watermarks, HTTP request
-//	                           counts/latency, in-flight gauges
+//	                           counts and version watermarks, pool/queue/
+//	                           delivery series, HTTP request counts/latency
 //	GET /debug/vars            the same registry as expvar JSON
 //	GET /healthz               liveness probe
 //	GET /debug/pprof/          runtime profiler (only with -pprof)
+//
+// docs/OPERATIONS.md is the operator's handbook: every flag and knob, pool
+// and queue sizing, the shed-versus-reject tradeoff, and the full metrics
+// reference.
 package main
 
 import (
@@ -41,36 +48,80 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	size := flag.Int("size", 256, "synthetic image side length")
 	workers := flag.Int("workers", 2, "workers per stage")
+	slots := flag.Int("slots", 8, "automata running concurrently (pool capacity per route)")
+	queueLen := flag.Int("queue", 32, "requests waiting for a slot before rejection (-1 = none)")
+	warm := flag.Int("warm", 1, "automata prebuilt per route pool at startup")
+	overload := flag.String("overload", "shed", "overload policy once requests queue: shed (scale deadlines down) or reject (queue bound only)")
+	shedMin := flag.Float64("shed-min", 0.25, "floor of the shed factor (fraction of the requested deadline)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	srv, err := newServer(*size, *workers, serverConfig{pprof: *pprofOn})
+	srv, err := newServer(*size, *workers, serverConfig{
+		pprof:    *pprofOn,
+		slots:    *slots,
+		queueLen: *queueLen,
+		warm:     *warm,
+		overload: *overload,
+		shedMin:  *shedMin,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("anytimed listening on %s (image %dx%d)", *addr, *size, *size)
+	log.Printf("anytimed listening on %s (image %dx%d, %d slots, %s overload policy)",
+		*addr, *size, *size, *slots, *overload)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
-// parseKnobs extracts the hold/accept stopping knobs from a request.
-func parseKnobs(r *http.Request) (hold time.Duration, accept float64, err error) {
+// knobs are one request's stopping controls. At most one is set.
+type knobs struct {
+	// hold stops the automaton after a raw duration and takes whatever is
+	// published — possibly nothing (504).
+	hold time.Duration
+	// deadline is the serving contract: the best published snapshot when
+	// the deadline fires, never empty-handed, shed under load.
+	deadline time.Duration
+	// accept stops at the first output reaching this SNR (dB).
+	accept float64
+}
+
+// knobCap bounds the hold/deadline knobs so a stray client cannot park on
+// an execution slot indefinitely.
+const knobCap = 10 * time.Second
+
+// parseKnobs extracts the hold/accept/deadline stopping knobs from a
+// request.
+func parseKnobs(r *http.Request) (knobs, error) {
+	var k knobs
+	var err error
 	if h := r.URL.Query().Get("hold"); h != "" {
-		hold, err = time.ParseDuration(h)
-		if err != nil || hold <= 0 {
-			return 0, 0, fmt.Errorf("bad hold duration %q", h)
+		k.hold, err = time.ParseDuration(h)
+		if err != nil || k.hold <= 0 {
+			return knobs{}, fmt.Errorf("bad hold duration %q", h)
+		}
+	}
+	if d := r.URL.Query().Get("deadline"); d != "" {
+		k.deadline, err = time.ParseDuration(d)
+		if err != nil || k.deadline <= 0 {
+			return knobs{}, fmt.Errorf("bad deadline %q", d)
 		}
 	}
 	if a := r.URL.Query().Get("accept"); a != "" {
-		accept, err = strconv.ParseFloat(a, 64)
-		if err != nil || accept <= 0 {
-			return 0, 0, fmt.Errorf("bad accept threshold %q", a)
+		k.accept, err = strconv.ParseFloat(a, 64)
+		if err != nil || k.accept <= 0 {
+			return knobs{}, fmt.Errorf("bad accept threshold %q", a)
 		}
 	}
-	if hold > 0 && accept > 0 {
-		return 0, 0, fmt.Errorf("hold and accept are mutually exclusive")
+	set := 0
+	for _, on := range []bool{k.hold > 0, k.deadline > 0, k.accept > 0} {
+		if on {
+			set++
+		}
 	}
-	if hold > 10*time.Second {
-		return 0, 0, fmt.Errorf("hold capped at 10s")
+	if set > 1 {
+		return knobs{}, fmt.Errorf("hold, deadline and accept are mutually exclusive")
 	}
-	return hold, accept, nil
+	if k.hold > knobCap || k.deadline > knobCap {
+		return knobs{}, fmt.Errorf("hold and deadline capped at %v", knobCap)
+	}
+	return k, nil
 }

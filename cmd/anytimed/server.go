@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -13,25 +14,33 @@ import (
 	"anytime/internal/core"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/serve"
 	"anytime/internal/telemetry"
 )
 
-// server holds the prepared inputs and precise references so request
-// handling only pays for the automaton run itself.
+// server holds the prepared inputs, precise references, and the serving
+// runtime — per-route warm pools, the FIFO admission queue, and the load
+// controller — so request handling only pays for the automaton run itself.
 type server struct {
 	mux     *http.ServeMux
 	workers int
-	// sem bounds concurrently running automata; each request's automaton
-	// acquires a slot for its lifetime, so a burst of held requests cannot
-	// oversubscribe the machine.
-	sem chan struct{}
+
+	// queue is the FIFO admission queue bounding concurrently running
+	// automata (replacing the old unfair channel semaphore): slots execute,
+	// up to queueLen more wait in arrival order, the rest are rejected.
+	queue *serve.Queue
+	// ctrl scales deadlines down as the queue deepens; active only when
+	// shed is true (-overload=shed).
+	ctrl serve.Controller
+	shed bool
 
 	// reg is the process metrics registry; every request's pipeline
 	// reports into it through hooks (shared across all automata) and
-	// per-buffer observers. slotsInUse mirrors the sem semaphore so the
+	// per-buffer observers. slotsInUse mirrors queue occupancy so the
 	// concurrency bound is visible at /metrics.
 	reg        *telemetry.Registry
 	hooks      *core.Hooks
+	serveHooks *serve.Hooks
 	slotsInUse *telemetry.Gauge
 
 	grayIn  *pix.Image
@@ -39,14 +48,53 @@ type server struct {
 	blurRef *pix.Image
 	eqRef   *pix.Image
 	kmRef   *pix.Image
+
+	blurPool *serve.Pool[*pix.Image]
+	eqPool   *serve.Pool[*pix.Image]
+	kmPool   *serve.Pool[*pix.Image]
 }
 
-// serverConfig carries the operational knobs from main.
+// serverConfig carries the operational knobs from main. Zero values take
+// the documented defaults; queueLen -1 means "no waiting room" (reject as
+// soon as every slot is busy).
 type serverConfig struct {
-	pprof bool
+	pprof    bool
+	slots    int     // concurrent automata (0 = 8)
+	queueLen int     // bounded waiting room (0 = 32, -1 = none)
+	warm     int     // automata prebuilt per route pool (0 = 1)
+	overload string  // "shed" or "reject" ("" = shed)
+	shedMin  float64 // floor of the shed factor (0 = 0.25)
+}
+
+func (c *serverConfig) normalize() error {
+	if c.slots == 0 {
+		c.slots = 8
+	}
+	switch c.queueLen {
+	case 0:
+		c.queueLen = 32
+	case -1:
+		c.queueLen = 0
+	}
+	if c.warm == 0 {
+		c.warm = 1
+	}
+	if c.overload == "" {
+		c.overload = "shed"
+	}
+	if c.overload != "shed" && c.overload != "reject" {
+		return fmt.Errorf("overload policy %q (want shed or reject)", c.overload)
+	}
+	if c.shedMin == 0 {
+		c.shedMin = 0.25
+	}
+	return nil
 }
 
 func newServer(size, workers int, cfg serverConfig) (*server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
 	gray, err := pix.SyntheticGray(size, size, 1)
 	if err != nil {
 		return nil, err
@@ -56,15 +104,34 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	reg := telemetry.NewRegistry()
+	serveHooks := telemetry.ServeHooks(reg)
+	queue, err := serve.NewQueue(cfg.slots, cfg.queueLen, serveHooks)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
-		mux:        http.NewServeMux(),
-		workers:    workers,
-		sem:        make(chan struct{}, 8),
+		mux:     http.NewServeMux(),
+		workers: workers,
+		queue:   queue,
+		// The ramp starts at a quarter of the waiting room and bottoms out
+		// when the room is full; with no waiting room the depth is always
+		// zero and the controller never fires.
+		ctrl: serve.Controller{
+			ShedStart: max(1, cfg.queueLen/4),
+			ShedFull:  max(2, cfg.queueLen),
+			MinFactor: cfg.shedMin,
+			H:         serveHooks,
+		},
+		shed:       cfg.overload == "shed",
 		reg:        reg,
 		hooks:      telemetry.PipelineHooks(reg),
+		serveHooks: serveHooks,
 		slotsInUse: reg.Gauge(metricSlotsInUse, nil),
 		grayIn:     gray,
 		rgbIn:      rgb,
+	}
+	if err := s.ctrl.Validate(); err != nil {
+		return nil, err
 	}
 	if s.blurRef, err = conv2d.Precise(gray, conv2d.Config{Workers: workers}); err != nil {
 		return nil, err
@@ -75,21 +142,36 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	if s.kmRef, err = kmeans.Precise(rgb, kmeans.Config{Workers: workers}); err != nil {
 		return nil, err
 	}
-	s.handle("GET /blur", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
-		h, err := newConv2D(s)
-		return h.a, h.out, s.blurRef, err
-	}))
-	s.handle("GET /equalize", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
+	if s.blurPool, err = s.newPool("blur", cfg, func() (*core.Automaton, *core.Buffer[*pix.Image], error) {
+		run, err := conv2d.New(s.grayIn, conv2d.Config{Workers: s.workers})
+		if err != nil {
+			return nil, nil, err
+		}
+		return run.Automaton, run.Out, nil
+	}); err != nil {
+		return nil, err
+	}
+	if s.eqPool, err = s.newPool("equalize", cfg, func() (*core.Automaton, *core.Buffer[*pix.Image], error) {
 		run, err := histeq.New(s.grayIn, histeq.Config{Workers: s.workers})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
-		return run.Automaton, run.Out, s.eqRef, nil
-	}))
-	s.handle("GET /cluster", s.handleApp(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
-		h, err := newKmeans(s)
-		return h.a, h.out, s.kmRef, err
-	}))
+		return run.Automaton, run.Out, nil
+	}); err != nil {
+		return nil, err
+	}
+	if s.kmPool, err = s.newPool("cluster", cfg, func() (*core.Automaton, *core.Buffer[*pix.Image], error) {
+		run, err := kmeans.New(s.rgbIn, kmeans.Config{Workers: s.workers})
+		if err != nil {
+			return nil, nil, err
+		}
+		return run.Automaton, run.Out, nil
+	}); err != nil {
+		return nil, err
+	}
+	s.handle("GET /blur", s.handleApp(s.blurPool, s.blurRef))
+	s.handle("GET /equalize", s.handleApp(s.eqPool, s.eqRef))
+	s.handle("GET /cluster", s.handleApp(s.kmPool, s.kmRef))
 	s.registerStreams()
 	s.registerOps(cfg.pprof)
 	s.handle("GET /", func(w http.ResponseWriter, r *http.Request) {
@@ -98,107 +180,132 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 			return
 		}
 		fmt.Fprintln(w, "anytimed — hold a request for more precision")
-		fmt.Fprintln(w, "  GET /blur?hold=50ms      blur, stopped after 50ms")
+		fmt.Fprintln(w, "  GET /blur?deadline=50ms  blur, best output published within 50ms")
+		fmt.Fprintln(w, "  GET /blur?hold=50ms      blur, stopped after 50ms (may 504 if nothing landed)")
 		fmt.Fprintln(w, "  GET /blur?accept=25      blur, stopped at 25 dB")
 		fmt.Fprintln(w, "  GET /equalize?hold=10ms  histogram equalization")
 		fmt.Fprintln(w, "  GET /cluster?hold=100ms  k-means clustering")
 		fmt.Fprintln(w, "  GET /blur/stream         live SSE: watch quality rise per version")
 		fmt.Fprintln(w, "  GET /cluster/stream      live SSE for k-means")
-		fmt.Fprintln(w, "  GET /metrics             Prometheus exposition (stages, buffers, HTTP)")
+		fmt.Fprintln(w, "  GET /metrics             Prometheus exposition (stages, buffers, pools, HTTP)")
 		fmt.Fprintln(w, "  GET /debug/vars          expvar JSON view of the same registry")
 		fmt.Fprintln(w, "  GET /healthz             liveness probe")
 		fmt.Fprintln(w, "no knob: precise output")
+		fmt.Fprintln(w, "see docs/OPERATIONS.md for pool/queue sizing and the full metrics reference")
 	})
 	return s, nil
 }
 
-// instrument attaches the server's shared telemetry to one freshly built
-// request pipeline: lifecycle/checkpoint hooks plus a publish observer on
-// the output buffer. Buffer names recur across requests (every /blur run
-// publishes to the same-named buffer), so the series accumulate per route's
-// pipeline rather than per request.
-func (s *server) instrument(a *core.Automaton, out *core.Buffer[*pix.Image]) {
-	a.SetHooks(s.hooks)
-	telemetry.ObserveBuffer(s.reg, out)
+// newPool builds one route's warm pool. Telemetry attaches once per pooled
+// instance, at construction: the lifecycle hooks and buffer observers
+// survive Reset, so attaching per request would pile observers onto reused
+// buffers. Buffer names recur across instances (every /blur automaton
+// publishes to the same-named buffer), so the series accumulate per route.
+func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Automaton, *core.Buffer[*pix.Image], error)) (*serve.Pool[*pix.Image], error) {
+	p, err := serve.NewPool(name, cfg.slots, func() (serve.Entry[*pix.Image], error) {
+		a, out, err := build()
+		if err != nil {
+			return serve.Entry[*pix.Image]{}, err
+		}
+		a.SetHooks(s.hooks)
+		telemetry.ObserveBuffer(s.reg, out)
+		return serve.Entry[*pix.Image]{Automaton: a, Out: out}, nil
+	}, s.serveHooks)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Warm(cfg.warm); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// handleApp builds the common anytime-over-HTTP flow around an automaton
-// constructor.
-func (s *server) handleApp(build func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error)) http.HandlerFunc {
+// handleApp builds the common anytime-over-HTTP flow around a route's warm
+// pool: admission, checkout, knob dispatch, delivery, check-in.
+func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		hold, accept, err := parseKnobs(r)
+		k, err := parseKnobs(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if !s.acquire(r) {
+		release, ok := s.admit(r)
+		if !ok {
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 			return
 		}
-		defer s.release()
-		a, out, ref, err := build()
+		defer release()
+		entry, err := pool.Get()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		s.instrument(a, out)
+		// Check-in is deferred until after the response body is written:
+		// the next checkout may start republishing, and a snapshot's
+		// backing is only guaranteed immutable until the tile ring cycles
+		// around (the conformance immutability window). A failed check-in
+		// drops the entry; the pool rebuilds on demand.
+		defer func() { _ = pool.Put(entry) }()
+
 		start := time.Now()
 		var snap core.Snapshot[*pix.Image]
+		deadlineFired := false
+		effective := k.deadline
 		switch {
-		case accept > 0:
-			accepted := core.StopWhen(a, out, func(sn core.Snapshot[*pix.Image]) bool {
+		case k.accept > 0:
+			res, err := serve.RunUntil(r.Context(), entry, func(sn core.Snapshot[*pix.Image]) bool {
 				db, err := metrics.SNR(ref.Pix, sn.Value.Pix)
-				return err == nil && db >= accept
-			})
-			if err := a.Start(r.Context()); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return err == nil && db >= k.accept
+			}, s.serveHooks)
+			if err != nil {
+				httpRunError(w, err)
 				return
 			}
-			sn, ok := <-accepted
-			if !ok {
-				http.Error(w, "no output produced", http.StatusInternalServerError)
+			snap = res.Snapshot
+		case k.deadline > 0:
+			if s.shed {
+				effective = s.ctrl.Scale(k.deadline, s.queue.Depth())
+			}
+			res, err := serve.Run(r.Context(), entry, effective, s.serveHooks)
+			if err != nil {
+				httpRunError(w, err)
 				return
 			}
-			snap = sn
-		case hold > 0:
-			cancel := core.StopAfter(a, hold)
+			snap, deadlineFired = res.Snapshot, res.Interrupted
+		case k.hold > 0:
+			// Legacy raw knob: stop after the hold and take whatever is
+			// published — including nothing (504). The deadline knob is the
+			// contract that never returns empty-handed.
+			cancel := core.StopAfter(entry.Automaton, k.hold)
 			defer cancel()
-			if err := a.Start(r.Context()); err != nil {
+			if err := entry.Automaton.Start(r.Context()); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
-			<-a.Done()
-			sn, ok := out.Latest()
+			<-entry.Automaton.Done()
+			sn, ok := entry.Out.Latest()
 			if !ok {
 				http.Error(w, "no output produced within the hold window", http.StatusGatewayTimeout)
 				return
 			}
 			snap = sn
 		default:
-			if err := a.Start(r.Context()); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+			res, err := serve.Run(r.Context(), entry, 0, s.serveHooks)
+			if err != nil {
+				httpRunError(w, err)
 				return
 			}
-			if err := a.Wait(); err != nil && !errors.Is(err, core.ErrStopped) {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			sn, ok := out.Latest()
-			if !ok {
-				http.Error(w, "no output produced", http.StatusInternalServerError)
-				return
-			}
-			snap = sn
+			snap = res.Snapshot
 		}
-		a.Stop() // idempotent; releases the pipeline if a knob fired early
 
 		db, err := metrics.SNR(ref.Pix, snap.Value.Pix)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		s.recordDelivered(db, snap.Final)
 		var buf bytes.Buffer
 		if err := pix.EncodePNM(&buf, snap.Value); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -213,45 +320,51 @@ func (s *server) handleApp(build func() (*core.Automaton, *core.Buffer[*pix.Imag
 		w.Header().Set("X-Anytime-Final", fmt.Sprint(snap.Final))
 		w.Header().Set("X-Anytime-SNR-dB", metrics.FormatDB(db))
 		w.Header().Set("X-Anytime-Elapsed", time.Since(start).String())
+		if k.deadline > 0 {
+			w.Header().Set("X-Anytime-Deadline", k.deadline.String())
+			w.Header().Set("X-Anytime-Effective-Deadline", effective.String())
+			w.Header().Set("X-Anytime-Deadline-Fired", fmt.Sprint(deadlineFired))
+		}
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return
 		}
 	}
 }
 
-// newConv2D constructs a fresh blur automaton over the server's input.
-func newConv2D(s *server) (appHandles, error) {
-	run, err := conv2d.New(s.grayIn, conv2d.Config{Workers: s.workers})
-	if err != nil {
-		return appHandles{}, err
+// httpRunError maps a serve.Run/RunUntil failure to a response: a gone
+// client gets the (unseen) 503, anything else is a pipeline failure.
+func httpRunError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) {
+		http.Error(w, "client went away", http.StatusServiceUnavailable)
+		return
 	}
-	return appHandles{a: run.Automaton, out: run.Out}, nil
+	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
-// newKmeans constructs a fresh clustering automaton over the server's input.
-func newKmeans(s *server) (appHandles, error) {
-	run, err := kmeans.New(s.rgbIn, kmeans.Config{Workers: s.workers})
-	if err != nil {
-		return appHandles{}, err
+// recordDelivered records the delivered-accuracy metric: approximate
+// deliveries observe their SNR (in millidecibels — the registry is
+// integer-valued), precise ones only count (their SNR is +Inf).
+func (s *server) recordDelivered(db float64, final bool) {
+	if final {
+		return
 	}
-	return appHandles{a: run.Automaton, out: run.Out}, nil
+	if db < 0 {
+		db = 0
+	}
+	s.reg.Histogram(metricDeliveredSNR, nil).Observe(uint64(db * 1000))
 }
 
-// acquire takes a concurrency slot, giving up when the client goes away.
-// The slotsInUse gauge mirrors the semaphore's occupancy so the bound is
-// observable at /metrics.
-func (s *server) acquire(r *http.Request) bool {
-	select {
-	case s.sem <- struct{}{}:
-		s.slotsInUse.Inc()
-		return true
-	case <-r.Context().Done():
+// admit takes an execution slot through the FIFO queue, giving up when the
+// client goes away or the waiting room is full. The slotsInUse gauge
+// mirrors queue occupancy so the bound is observable at /metrics.
+func (s *server) admit(r *http.Request) (release func(), ok bool) {
+	if err := s.queue.Acquire(r.Context()); err != nil {
 		s.reg.Counter(metricSlotsRejected, nil).Inc()
-		return false
+		return nil, false
 	}
-}
-
-func (s *server) release() {
-	s.slotsInUse.Dec()
-	<-s.sem
+	s.slotsInUse.Inc()
+	return func() {
+		s.slotsInUse.Dec()
+		s.queue.Release()
+	}, true
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -140,11 +141,113 @@ func TestKnobValidation(t *testing.T) {
 		"/blur?accept=x",
 		"/blur?hold=5ms&accept=10",
 		"/blur?hold=11s",
+		"/blur?deadline=banana",
+		"/blur?deadline=-5ms",
+		"/blur?deadline=11s",
+		"/blur?deadline=5ms&hold=5ms",
+		"/blur?deadline=5ms&accept=10",
 	}
 	for _, path := range cases {
 		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", path, rec.Code)
 		}
+	}
+}
+
+// TestDeadlineContract pins the serving contract end to end: a deadline far
+// too short for the pipeline still returns 200 with a valid, decodable
+// approximation (never 504, unlike hold), the deadline headers report the
+// interruption, and the delivered-accuracy metric is recorded.
+func TestDeadlineContract(t *testing.T) {
+	// A larger image than the other tests so a microsecond deadline
+	// reliably interrupts before the precise output.
+	s, err := newServer(256, 2, serverConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, s, "/blur?deadline=1us")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	img, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("deadline response not a valid image: %v", err)
+	}
+	if img.W != 256 || img.H != 256 {
+		t.Errorf("unexpected geometry %dx%d", img.W, img.H)
+	}
+	if v := rec.Header().Get("X-Anytime-Version"); v == "" || v == "0" {
+		t.Errorf("version header %q", v)
+	}
+	if d := rec.Header().Get("X-Anytime-Deadline"); d != "1µs" {
+		t.Errorf("deadline header %q", d)
+	}
+	if rec.Header().Get("X-Anytime-Deadline-Fired") != "true" {
+		t.Error("microsecond deadline did not fire")
+	}
+	if rec.Header().Get("X-Anytime-Final") != "false" {
+		t.Error("microsecond deadline returned the final output")
+	}
+	metricsBody := get(t, s, "/metrics").Body.String()
+	if !strings.Contains(metricsBody, "anytimed_delivered_snr_millidb") {
+		t.Error("approximate delivery did not record the delivered-accuracy metric")
+	}
+	if !strings.Contains(metricsBody, `anytime_serve_deliveries_total{outcome="approximate"}`) {
+		t.Error("serve delivery counter missing the approximate outcome")
+	}
+}
+
+// TestPooledReuseStaysPreciseAcrossRequests is the warm-pool acceptance
+// bar at the HTTP level: after interrupted deadline requests, the same
+// pooled automaton must still produce the bit-exact precise output, for
+// more than two consecutive reuse cycles.
+func TestPooledReuseStaysPreciseAcrossRequests(t *testing.T) {
+	s := testServer(t)
+	for cycle := 1; cycle <= 3; cycle++ {
+		if rec := get(t, s, "/blur?deadline=1us"); rec.Code != http.StatusOK {
+			t.Fatalf("cycle %d deadline request: %d", cycle, rec.Code)
+		}
+		rec := get(t, s, "/blur")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cycle %d precise request: %d", cycle, rec.Code)
+		}
+		img, err := pix.DecodePNM(bytes.NewReader(rec.Body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !img.Equal(s.blurRef) {
+			t.Fatalf("cycle %d: pooled precise output differs from the reference", cycle)
+		}
+	}
+	// The pool must actually have been reused, not rebuilt per request.
+	body := get(t, s, "/metrics").Body.String()
+	warm := counterValue(t, body, `anytime_serve_pool_gets_total{pool="blur",source="warm"}`)
+	if warm < 5 {
+		t.Errorf("warm pool checkouts = %d across 6 requests, want ≥ 5", warm)
+	}
+}
+
+// TestQueueSaturationRejects pins admission control: with one slot, no
+// waiting room, and the slot held, the next request is turned away with
+// 503 immediately.
+func TestQueueSaturationRejects(t *testing.T) {
+	s, err := newServer(64, 2, serverConfig{slots: 1, queueLen: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.queue.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.Release()
+	if rec := get(t, s, "/blur"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("saturated queue returned %d, want 503", rec.Code)
+	}
+}
+
+// TestOverloadPolicyValidation rejects an unknown -overload value.
+func TestOverloadPolicyValidation(t *testing.T) {
+	if _, err := newServer(64, 2, serverConfig{overload: "panic"}); err == nil {
+		t.Fatal("bad overload policy accepted")
 	}
 }
 

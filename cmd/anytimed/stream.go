@@ -5,23 +5,39 @@ import (
 	"net/http"
 	"time"
 
+	"anytime/internal/apps/conv2d"
+	"anytime/internal/apps/kmeans"
 	"anytime/internal/core"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/telemetry"
 )
 
 // registerStreams adds the Server-Sent Events endpoints: the client watches
 // the whole-application output quality rise live, one event per published
 // version, and decides for itself when to stop listening — the
 // hold-the-power-button interaction with the button on the client side.
+//
+// Streams build fresh automata rather than drawing from the warm pools: a
+// stream holds its automaton for the client's whole attention span, so
+// construction cost is noise, and keeping them out of the pools means a
+// few long-lived stream watchers cannot starve the request path's warm
+// instances. They do share the admission queue — a stream occupies an
+// execution slot like any request.
 func (s *server) registerStreams() {
 	s.handle("GET /blur/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
-		h, err := newConv2D(s)
-		return h.a, h.out, s.blurRef, err
+		run, err := conv2d.New(s.grayIn, conv2d.Config{Workers: s.workers})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return run.Automaton, run.Out, s.blurRef, nil
 	}))
 	s.handle("GET /cluster/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
-		h, err := newKmeans(s)
-		return h.a, h.out, s.kmRef, err
+		run, err := kmeans.New(s.rgbIn, kmeans.Config{Workers: s.workers})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return run.Automaton, run.Out, s.kmRef, nil
 	}))
 }
 
@@ -38,17 +54,21 @@ func (s *server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.I
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
-		if !s.acquire(r) {
+		release, ok := s.admit(r)
+		if !ok {
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 			return
 		}
-		defer s.release()
+		defer release()
 		a, out, ref, err := build()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		s.instrument(a, out)
+		// Fresh (unpooled) automaton: attaching the observer per request
+		// cannot pile up, the buffer dies with the stream.
+		a.SetHooks(s.hooks)
+		telemetry.ObserveBuffer(s.reg, out)
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 
@@ -69,10 +89,4 @@ func (s *server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.I
 			flusher.Flush()
 		}
 	}
-}
-
-// appHandles bundles a constructed automaton with its output buffer.
-type appHandles struct {
-	a   *core.Automaton
-	out *core.Buffer[*pix.Image]
 }

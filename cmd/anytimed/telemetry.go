@@ -22,6 +22,12 @@ const (
 	metricHTTPInFlight  = "anytimed_http_in_flight"
 	metricSlotsInUse    = "anytimed_automaton_slots_in_use"
 	metricSlotsRejected = "anytimed_automaton_slots_rejected_total"
+	// metricDeliveredSNR is the delivered-accuracy histogram: the SNR (in
+	// millidecibels; the registry is integer-valued) of every approximate
+	// delivery. Precise deliveries are counted by
+	// anytime_serve_deliveries_total{outcome="precise"} instead — their SNR
+	// is +Inf.
+	metricDeliveredSNR = "anytimed_delivered_snr_millidb"
 )
 
 // handle registers h under pattern with the per-request metrics middleware:

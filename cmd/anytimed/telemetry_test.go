@@ -112,10 +112,11 @@ func TestPprofGatedByFlag(t *testing.T) {
 	}
 }
 
-// TestSemaphoreBoundsConcurrentAutomata fires a burst of held requests well
+// TestQueueBoundsConcurrentAutomata fires a burst of held requests well
 // past the 8 slots and asserts the slots-in-use gauge (which mirrors the
-// sem channel) never exceeds the bound while every request still succeeds.
-func TestSemaphoreBoundsConcurrentAutomata(t *testing.T) {
+// admission queue's occupancy) never exceeds the bound while every request
+// still succeeds.
+func TestQueueBoundsConcurrentAutomata(t *testing.T) {
 	s := testServer(t)
 	slots := s.reg.Gauge(metricSlotsInUse, nil)
 
@@ -159,8 +160,8 @@ func TestSemaphoreBoundsConcurrentAutomata(t *testing.T) {
 			t.Errorf("request %d: status %d", i, code)
 		}
 	}
-	if got := maxSeen.Load(); got > int64(cap(s.sem)) {
-		t.Errorf("slots in use peaked at %d, semaphore bound is %d", got, cap(s.sem))
+	if got := maxSeen.Load(); got > int64(s.queue.Slots()) {
+		t.Errorf("slots in use peaked at %d, queue bound is %d", got, s.queue.Slots())
 	}
 	if got := maxSeen.Load(); got < 2 {
 		t.Errorf("burst of %d never ran concurrently (peak %d)", burst, got)
@@ -170,31 +171,35 @@ func TestSemaphoreBoundsConcurrentAutomata(t *testing.T) {
 	}
 }
 
-// TestAcquireRejectsWhenSaturatedAndClientGone pins the semaphore's edge
-// case: with every slot held, an acquire whose client has gone away must
-// give up rather than block forever, and count the rejection.
-func TestAcquireRejectsWhenSaturatedAndClientGone(t *testing.T) {
+// TestAdmitRejectsWhenSaturatedAndClientGone pins the admission edge case:
+// with every slot held, an admit whose client has gone away must give up
+// its place in line rather than block forever, and count the rejection.
+func TestAdmitRejectsWhenSaturatedAndClientGone(t *testing.T) {
 	s := testServer(t)
-	for i := 0; i < cap(s.sem); i++ {
+	bound := s.queue.Slots()
+	releases := make([]func(), 0, bound)
+	for i := 0; i < bound; i++ {
 		req := httptest.NewRequest(http.MethodGet, "/blur", nil)
-		if !s.acquire(req) {
-			t.Fatalf("acquire %d failed with free slots", i)
+		release, ok := s.admit(req)
+		if !ok {
+			t.Fatalf("admit %d failed with free slots", i)
 		}
+		releases = append(releases, release)
 	}
-	if v := s.reg.Gauge(metricSlotsInUse, nil).Value(); v != int64(cap(s.sem)) {
-		t.Fatalf("slots gauge = %d, want %d", v, cap(s.sem))
+	if v := s.reg.Gauge(metricSlotsInUse, nil).Value(); v != int64(bound) {
+		t.Fatalf("slots gauge = %d, want %d", v, bound)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
 	req := httptest.NewRequest(http.MethodGet, "/blur", nil).WithContext(ctx)
-	if s.acquire(req) {
-		t.Fatal("acquire succeeded past the bound")
+	if _, ok := s.admit(req); ok {
+		t.Fatal("admit succeeded past the bound")
 	}
 	if v := s.reg.Counter(metricSlotsRejected, nil).Value(); v != 1 {
 		t.Errorf("rejected counter = %d, want 1", v)
 	}
-	for i := 0; i < cap(s.sem); i++ {
-		s.release()
+	for _, release := range releases {
+		release()
 	}
 	if v := s.reg.Gauge(metricSlotsInUse, nil).Value(); v != 0 {
 		t.Errorf("slots gauge = %d after release, want 0", v)

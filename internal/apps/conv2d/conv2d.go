@@ -273,5 +273,12 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Warm-pool support: rewinding the snapshotter mask and output buffer is
+	// all the per-run state this app has (the tree permutation, kernel
+	// weights, and working arena are input-independent and reusable as-is).
+	a.OnReset(func() {
+		snap.Reset()
+		out.Reset()
+	})
 	return &Run{Automaton: a, Out: out}, nil
 }

@@ -2,9 +2,11 @@ package conv2d
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"anytime/internal/core"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
 )
@@ -393,5 +395,49 @@ func TestGaussianPreservesConstant(t *testing.T) {
 		if v != 123 {
 			t.Fatalf("gaussian changed a constant image: %d", v)
 		}
+	}
+}
+
+// TestResetReuseAfterInterrupt: a pooled automaton checked back in after an
+// early stop (the deadline-serving path) must produce the bit-exact precise
+// output on its next full checkout, with versions renumbered from 1.
+func TestResetReuseAfterInterrupt(t *testing.T) {
+	in := testImage(t, 48, 48)
+	want, err := Precise(in, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := New(in, Config{Workers: 2, Snapshot: pix.SnapshotTiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 1: interrupt after the first published version.
+	got := core.StopWhen(run.Automaton, run.Out, func(core.Snapshot[*pix.Image]) bool { return true })
+	if err := run.Automaton.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-got; !ok {
+		t.Fatal("no snapshot before interrupt")
+	}
+	if err := run.Automaton.Wait(); err != nil && !errors.Is(err, core.ErrStopped) {
+		t.Fatal(err)
+	}
+	if err := run.Automaton.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 2: run to completion; the output must match the precise
+	// baseline bit for bit, with no pixels held over from cycle 1.
+	if err := run.Automaton.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Automaton.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := run.Out.Latest()
+	if !ok || !snap.Final {
+		t.Fatal("no final snapshot after reuse")
+	}
+	if snap.Version == 0 || !snap.Value.Equal(want) {
+		t.Fatalf("reused run diverged from precise baseline (version %d)", snap.Version)
 	}
 }

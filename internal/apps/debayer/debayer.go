@@ -193,5 +193,11 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Warm-pool support: like conv2d, the only per-run state is the
+	// snapshotter mask and the output buffer.
+	a.OnReset(func() {
+		snap.Reset()
+		out.Reset()
+	})
 	return &Run{Automaton: a, Out: out}, nil
 }

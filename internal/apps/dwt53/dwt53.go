@@ -216,5 +216,15 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// Warm-pool support: rewind both buffers and the version→stride record
+	// (a reused run renumbers versions from 1, so stale entries would be
+	// overwritten anyway — clearing keeps the map from conflating runs).
+	a.OnReset(func() {
+		strideMu.Lock()
+		clear(strideOf)
+		strideMu.Unlock()
+		coefBuf.Reset()
+		out.Reset()
+	})
 	return &Run{Automaton: a, Coef: coefBuf, Out: out}, nil
 }

@@ -340,5 +340,20 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// Warm-pool support. The per-run state of this pipeline is the four
+	// buffers, the apply snapshotter, and — crucially — the worker-private
+	// histogram partials, which live outside the stage function: without
+	// zeroing them a reused automaton would double-count every pixel and
+	// publish a wrong (though well-formed) histogram.
+	a.OnReset(func() {
+		for _, p := range partials {
+			*p = Hist{}
+		}
+		snap.Reset()
+		histBuf.Reset()
+		cdfBuf.Reset()
+		lutBuf.Reset()
+		out.Reset()
+	})
 	return &Run{Automaton: a, HistBuf: histBuf, CDFBuf: cdfBuf, LUTBuf: lutBuf, Out: out}, nil
 }

@@ -336,3 +336,37 @@ func TestReorderInputHistogramsMatch(t *testing.T) {
 		t.Error("final histograms differ under reordering")
 	}
 }
+
+// TestResetReuseBitExact guards the warm-pool hazard specific to this app:
+// the worker-private histogram partials live outside the stage function, so
+// a reused automaton that failed to zero them would double-count every
+// pixel. Three consecutive checkouts must each end bit-exact with Precise.
+func TestResetReuseBitExact(t *testing.T) {
+	in := testImage(t, 32, 32)
+	ref, err := Precise(in, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := New(in, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 1; cycle <= 3; cycle++ {
+		if err := run.Automaton.Start(context.Background()); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := run.Automaton.Wait(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		snap, ok := run.Out.Latest()
+		if !ok || !snap.Final {
+			t.Fatalf("cycle %d: no final output", cycle)
+		}
+		if !snap.Value.Equal(ref) {
+			t.Fatalf("cycle %d: reused automaton diverged from Precise", cycle)
+		}
+		if err := run.Automaton.Reset(); err != nil {
+			t.Fatalf("cycle %d: reset: %v", cycle, err)
+		}
+	}
+}

@@ -399,5 +399,16 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// Warm-pool support. Both stages create their iteration state (centroids,
+	// per-worker accumulators) inside the stage function, so a restart
+	// rebuilds it; what persists across runs is the three buffers and the
+	// snapshotter. Rewinding the buffers also restarts the version numbering
+	// the cluster↔reduce WaitNewer handshake counts on.
+	a.OnReset(func() {
+		snap.Reset()
+		partialsBuf.Reset()
+		modelBuf.Reset()
+		out.Reset()
+	})
 	return &Run{Automaton: a, ModelBuf: modelBuf, Out: out}, nil
 }

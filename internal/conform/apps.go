@@ -494,13 +494,23 @@ func (a *syncPipeApp) Build(env *Env, s Schedule) (*Instance, error) {
 	}); err != nil {
 		return nil, err
 	}
+	// What a production constructor registers with OnReset, the harness app
+	// registers too: the reset-reuse sweep checks this automaton out again,
+	// and an interrupted cycle may leave in-flight elements in the stream.
+	auto.OnReset(func() {
+		stream.Reset()
+		prodBuf.Reset()
+		sumBuf.Reset()
+	})
 	sumInt := func(v int64) uint64 { return fnv1aStep(fnv1aInit, uint64(v)) }
 	// Both stages publish once per element, so version v of either buffer
 	// must hold exactly the sum of the first v squares. The validator
 	// counts publishes itself (it runs once per publish, in order), making
-	// every intermediate snapshot checkable against a closed form.
+	// every intermediate snapshot checkable against a closed form. The
+	// counter is per-run state, so a rewind is registered alongside it.
 	exactSums := func(name string) func(int64) error {
 		published := 0
+		env.OnReset(func() { published = 0 })
 		return func(v int64) error {
 			published++
 			if want := sumOfSquares(published); v != want {

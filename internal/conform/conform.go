@@ -26,6 +26,9 @@ type Result struct {
 	Completed bool
 	// Publishes is the total publish count across all probed buffers.
 	Publishes int64
+	// Cycle is the 1-based reuse cycle this result came from (RunReuse);
+	// single-run results (RunOne) report 0.
+	Cycle int
 }
 
 // Failed reports whether the run violated any invariant.
@@ -45,25 +48,77 @@ func (r Result) FailureSummary() string {
 // injects the seeded perturbations and interrupt, and the terminal state
 // is verified after quiescence.
 func RunOne(app App, s Schedule) Result {
-	res := Result{App: app.Name(), Schedule: s}
-	col := &Collector{}
-
-	var sched *chaosScheduler
-	var publishes atomic.Int64
-	env := &Env{Col: col, OnPublish: func() {
-		n := publishes.Add(1)
-		if s.Stop.Kind == StopAtPublish && n == int64(s.Stop.Count) && sched != nil {
-			sched.trigger()
-		}
-	}}
-
+	env := &Env{Col: &Collector{}}
 	inst, err := app.Build(env, s)
 	if err != nil {
-		col.Add("build-error", app.Name(), "%v", err)
-		res.Violations = col.Violations()
-		return res
+		env.Col.Add("build-error", app.Name(), "%v", err)
+		return Result{App: app.Name(), Schedule: s, Violations: env.Col.Violations()}
 	}
-	sched = newChaosScheduler(inst.Automaton, app.Stages(), s)
+	return runCycle(app, inst, env, s)
+}
+
+// RunReuse builds one instance of app and runs it through cycles
+// consecutive checkout cycles — the warm-pool discipline of internal/serve
+// under the harness's invariants. Cycles 1..n-1 run under the schedule's
+// own interrupt (an interrupted, possibly approximate request); the final
+// cycle forces StopNone and must still reach the bit-exact precise output,
+// proving Reset leaks no state from any earlier interrupted run. Between
+// cycles the automaton is Reset (running the app's production OnReset
+// hooks) and the probes' observation state is rewound, so every cycle
+// re-proves version-monotonicity from version 1. Each cycle gets its own
+// Collector; the sweep stops at the first failing cycle (a broken instance
+// only produces noise afterwards).
+func RunReuse(app App, s Schedule, cycles int) []Result {
+	if cycles < 1 {
+		cycles = 1
+	}
+	env := &Env{Col: &Collector{}}
+	inst, err := app.Build(env, s)
+	if err != nil {
+		env.Col.Add("build-error", app.Name(), "%v", err)
+		return []Result{{App: app.Name(), Schedule: s, Violations: env.Col.Violations()}}
+	}
+	results := make([]Result, 0, cycles)
+	for c := 1; c <= cycles; c++ {
+		cs := s
+		if c == cycles {
+			cs.Stop = StopPoint{Kind: StopNone}
+		}
+		env.Col = &Collector{}
+		if c > 1 {
+			if err := inst.Automaton.Reset(); err != nil {
+				env.Col.Add("reset-error", app.Name(), "cycle %d: %v", c, err)
+				return append(results, Result{App: app.Name(), Schedule: cs, Cycle: c, Violations: env.Col.Violations()})
+			}
+			env.reset()
+		}
+		res := runCycle(app, inst, env, cs)
+		res.Cycle = c
+		results = append(results, res)
+		if res.Failed() {
+			break
+		}
+	}
+	return results
+}
+
+// runCycle is one start→quiesce pass over a built instance: attach a fresh
+// chaos scheduler, run under the schedule's perturbations and interrupt,
+// then verify the terminal state. env.OnPublish and the automaton's hooks
+// are (re)bound here, which is safe because the instance is quiescent
+// between cycles.
+func runCycle(app App, inst *Instance, env *Env, s Schedule) Result {
+	res := Result{App: app.Name(), Schedule: s}
+	col := env.Col
+
+	sched := newChaosScheduler(inst.Automaton, app.Stages(), s)
+	var publishes atomic.Int64
+	env.OnPublish = func() {
+		n := publishes.Add(1)
+		if s.Stop.Kind == StopAtPublish && n == int64(s.Stop.Count) {
+			sched.trigger()
+		}
+	}
 	inst.Automaton.SetHooks(sched.hooks())
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -105,7 +160,7 @@ func RunOne(app App, s Schedule) Result {
 	<-supDone
 	sched.pausers.Wait()
 
-	err = inst.Automaton.Wait()
+	err := inst.Automaton.Wait()
 	res.Completed = err == nil
 	interrupted := s.Stop.Kind != StopNone
 	switch {

@@ -64,6 +64,59 @@ func TestConformKmeans(t *testing.T)   { t.Parallel(); explore(t, &kmeansApp{}) 
 func TestConformDWT53(t *testing.T)    { t.Parallel(); explore(t, &dwt53App{}) }
 func TestConformSyncPipe(t *testing.T) { t.Parallel(); explore(t, &syncPipeApp{}) }
 
+// reuseCycles is how many consecutive checkout cycles the reset-reuse
+// sweep drives one built instance through: two interrupted requests under
+// the schedule's own stop point, then a final uninterrupted one that must
+// still reach the bit-exact precise output (the serving runtime's
+// acceptance bar is ≥ 2 consecutive reset-reuse cycles).
+const reuseCycles = 3
+
+// exploreReuse is the warm-pool counterpart of explore: each seeded
+// schedule runs through reuseCycles checkouts of a single instance via
+// RunReuse. Half the single-run budget keeps the added wall-clock modest
+// while still permuting every configuration dimension.
+func exploreReuse(t *testing.T, app App) {
+	t.Helper()
+	if *seedFlag != 0 {
+		runReuseSeed(t, app, *seedFlag)
+		return
+	}
+	n := (schedulesPerApp(t) + 1) / 2
+	for i := 0; i < n; i++ {
+		runReuseSeed(t, app, uint64(i)+1)
+	}
+}
+
+func runReuseSeed(t *testing.T, app App, seed uint64) {
+	t.Helper()
+	s := DeriveSchedule(app, seed)
+	results := RunReuse(app, s, reuseCycles)
+	for _, res := range results {
+		if res.Failed() {
+			t.Fatalf("conform: %s violated invariants on reuse cycle %d/%d under seed %d\nviolations:\n%s\nschedule: %s\nreproduce: go test ./internal/conform -run '^%s$' -conform.seed=%d",
+				app.Name(), res.Cycle, reuseCycles, seed, res.FailureSummary(), res.Schedule, t.Name(), seed)
+		}
+	}
+	last := results[len(results)-1]
+	if last.Cycle != reuseCycles {
+		t.Fatalf("conform: %s reuse sweep under seed %d stopped at cycle %d/%d without a violation",
+			app.Name(), seed, last.Cycle, reuseCycles)
+	}
+	if !last.Completed {
+		t.Fatalf("conform: %s final reuse cycle under seed %d did not reach the precise output", app.Name(), seed)
+	}
+}
+
+// TestConformReset*: the reset-reuse sweep per app. The names match the
+// nightly profile's `-run Conform` selection, so pooled automata are swept
+// by the same seeded invariant checks as fresh ones.
+func TestConformResetConv2D(t *testing.T)   { t.Parallel(); exploreReuse(t, &conv2dApp{}) }
+func TestConformResetDebayer(t *testing.T)  { t.Parallel(); exploreReuse(t, &debayerApp{}) }
+func TestConformResetHisteq(t *testing.T)   { t.Parallel(); exploreReuse(t, &histeqApp{}) }
+func TestConformResetKmeans(t *testing.T)   { t.Parallel(); exploreReuse(t, &kmeansApp{}) }
+func TestConformResetDWT53(t *testing.T)    { t.Parallel(); exploreReuse(t, &dwt53App{}) }
+func TestConformResetSyncPipe(t *testing.T) { t.Parallel(); exploreReuse(t, &syncPipeApp{}) }
+
 // TestScheduleDerivationDeterministic pins the reproducibility contract:
 // the same (app, seed) pair must always expand to the same schedule, or a
 // reported seed would not reproduce its failure.

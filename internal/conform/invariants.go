@@ -68,9 +68,45 @@ func (c *Collector) Violations() []Violation {
 // violation collector and the harness's publish notification (which drives
 // StopAtPublish interrupt points). App adapters wire both through
 // AttachProbe.
+//
+// Both fields are read at use time, not captured at Build, so the
+// reset-reuse sweep (RunReuse) can swap in a fresh Collector and interrupt
+// trigger for each checkout cycle of one built instance. Swapping is only
+// safe at quiescence: the automaton's Wait/Start pair provides the
+// happens-before edge to the stage goroutines that read them.
 type Env struct {
 	Col       *Collector
 	OnPublish func() // may be nil
+
+	resetMu sync.Mutex
+	resets  []func()
+}
+
+// OnReset registers fn to run when the harness rewinds a built instance
+// between reuse cycles (see RunReuse). AttachProbe registers its own
+// observation-state rewind here; apps whose validators keep per-run state
+// (e.g. publish counters) must register a rewind too, mirroring what their
+// production constructors register with core.Automaton.OnReset. nil is
+// ignored.
+func (e *Env) OnReset(fn func()) {
+	if fn == nil {
+		return
+	}
+	e.resetMu.Lock()
+	defer e.resetMu.Unlock()
+	e.resets = append(e.resets, fn)
+}
+
+// reset runs the registered rewind hooks in registration order. Only call
+// at quiescence, after every probe's VerifyQuiescent for the finished
+// cycle.
+func (e *Env) reset() {
+	e.resetMu.Lock()
+	hooks := append([]func(){}, e.resets...)
+	e.resetMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Probe watches one buffer of an automaton under test. Its observer runs
@@ -122,8 +158,10 @@ func AttachProbe[T any](env *Env, buf *core.Buffer[T], sum func(T) uint64, valid
 		writerID uint64
 	}
 	var inObserver atomic.Int32
-	col := env.Col
+	// env.Col is read per report (not captured) so RunReuse can give each
+	// reuse cycle its own Collector.
 	buf.OnPublish(func(s core.Snapshot[T]) {
+		col := env.Col
 		if n := inObserver.Add(1); n != 1 {
 			col.Add("single-writer", p.Name, "%d publishes in flight concurrently", n)
 		}
@@ -168,6 +206,7 @@ func AttachProbe[T any](env *Env, buf *core.Buffer[T], sum func(T) uint64, valid
 		}
 	})
 	p.verifyQuiescent = func() {
+		col := env.Col
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		latest, ok := buf.Peek()
@@ -190,6 +229,19 @@ func AttachProbe[T any](env *Env, buf *core.Buffer[T], sum func(T) uint64, valid
 		defer st.mu.Unlock()
 		return st.last.Version, st.lastSum, st.last.Final, st.has
 	}
+	// Reset-reuse: rewind the observation state so every cycle re-proves
+	// the invariants from scratch — in particular "first observed version
+	// is 1" (Buffer.Reset must rewind the version counter) and the
+	// single-writer identity (the next run's stage goroutine is new).
+	env.OnReset(func() {
+		st.mu.Lock()
+		st.has = false
+		st.last = core.Snapshot[T]{}
+		st.lastSum = 0
+		st.writerID = 0
+		st.mu.Unlock()
+		p.publishes.Store(0)
+	})
 	return p
 }
 

@@ -31,13 +31,14 @@ const (
 type Automaton struct {
 	gate *gate
 
-	mu     sync.Mutex
-	state  automatonState
-	stages []registeredStage
-	cancel context.CancelFunc
-	done   chan struct{}
-	err    error
-	hooks  *Hooks
+	mu      sync.Mutex
+	state   automatonState
+	stages  []registeredStage
+	cancel  context.CancelFunc
+	done    chan struct{}
+	err     error
+	hooks   *Hooks
+	onReset []func()
 
 	wg sync.WaitGroup
 }
@@ -89,6 +90,7 @@ func (a *Automaton) Start(ctx context.Context) error {
 	a.state = stateRunning
 	stages := a.stages
 	hooks := a.hooks
+	done := a.done // capture: Reset swaps the field for the next run
 	a.mu.Unlock()
 
 	var begin time.Time
@@ -126,7 +128,7 @@ func (a *Automaton) Start(ctx context.Context) error {
 		err := a.err
 		a.mu.Unlock()
 		cancel()
-		close(a.done)
+		close(done)
 		if hooks != nil && hooks.AutomatonFinish != nil {
 			hooks.AutomatonFinish(err, time.Since(begin))
 		}
@@ -204,6 +206,7 @@ func (a *Automaton) Stop() {
 	a.mu.Lock()
 	cancel := a.cancel
 	started := a.state != stateIdle
+	done := a.done
 	a.mu.Unlock()
 	if !started {
 		return
@@ -212,17 +215,68 @@ func (a *Automaton) Stop() {
 		cancel()
 	}
 	a.gate.resume() // a paused stage must be released to observe the stop
-	<-a.done
+	<-done
 }
 
-// Done returns a channel closed when every stage has exited.
-func (a *Automaton) Done() <-chan struct{} { return a.done }
+// OnReset registers fn to run during Reset, after the automaton's own
+// control state has been rewound. Applications register the rewinding of
+// their per-run state here — output Buffer.Reset, snapshotter masks,
+// worker-private accumulators — so a pooled automaton can be checked out
+// again without reallocating stages, permutations, or arenas. Hooks run in
+// registration order on the resetting goroutine; nil is ignored.
+func (a *Automaton) OnReset(fn func()) {
+	if fn == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onReset = append(a.onReset, fn)
+}
+
+// Reset rewinds a finished (or never-started) automaton back to idle so it
+// can be started again: the registered stages, attached hooks, and OnReset
+// callbacks are kept; the terminal error, cancellation, done channel, and a
+// pending pause are cleared; then every OnReset hook runs. Resetting a
+// running automaton is an error — Stop it first.
+//
+// Reset is the warm-pool primitive of internal/serve: construction cost
+// (DAG building, permutation tables, image arenas) is paid once, and each
+// reuse pays only this rewind.
+func (a *Automaton) Reset() error {
+	a.mu.Lock()
+	if a.state == stateRunning {
+		a.mu.Unlock()
+		return errors.New("core: cannot reset a running automaton")
+	}
+	a.state = stateIdle
+	a.err = nil
+	a.cancel = nil
+	a.done = make(chan struct{})
+	hooks := append([]func(){}, a.onReset...)
+	a.mu.Unlock()
+	// A pause requested during (or after) the previous run must not leak
+	// into the next one.
+	a.gate.resume()
+	for _, fn := range hooks {
+		fn()
+	}
+	return nil
+}
+
+// Done returns a channel closed when every stage has exited. Reset replaces
+// the channel, so a reused automaton's callers must take Done again after
+// each checkout rather than caching it across runs.
+func (a *Automaton) Done() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done
+}
 
 // Wait blocks until every stage has exited. It returns nil if the automaton
 // ran to its precise output, ErrStopped if it was interrupted, or the first
 // stage failure otherwise.
 func (a *Automaton) Wait() error {
-	<-a.done
+	<-a.Done()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.err

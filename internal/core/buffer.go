@@ -241,6 +241,29 @@ func (b *Buffer[T]) Demanded() bool {
 	return s == nil || b.consumed.Load() >= uint64(s.Version)
 }
 
+// Reset rewinds the buffer to its unpublished state so the owning
+// automaton can be reused for a new run: the next Publish produces version
+// 1 again and clears any finalized state. Registered observers stay
+// attached (a pooled pipeline keeps its telemetry across requests), and the
+// publisher-private arena keeps handing out unused cells, so snapshots a
+// reader retained from the previous run remain immutable.
+//
+// Reset is part of the warm-pool discipline (internal/serve): it must only
+// be called during quiescence — after the automaton has stopped and before
+// it is restarted — with no reader blocked in WaitNewer. A reader that is
+// blocked anyway is woken and simply blocks again for the new run's first
+// version.
+func (b *Buffer[T]) Reset() {
+	b.cur.Store(nil)
+	b.consumed.Store(0)
+	// Wake any stale blocked reader so it cannot deadlock against a run
+	// that no longer exists; it re-checks cur, sees nothing newer, and
+	// re-arms against the next run.
+	if ch := b.waiter.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}
+
 // WaitNewer blocks until the buffer holds a snapshot with version greater
 // than after, then returns it. Passing after == 0 returns the first
 // available snapshot. It returns ctx.Err() if the context is cancelled

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestBufferResetRewindsVersions pins the warm-pool contract: after Reset
+// the next publish is version 1 again, the finalized state is cleared, and
+// snapshots retained from before the reset stay intact.
+func TestBufferResetRewindsVersions(t *testing.T) {
+	b := NewBuffer[int]("reset", nil)
+	if _, err := b.Publish(10, false); err != nil {
+		t.Fatal(err)
+	}
+	last, err := b.Publish(20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(30, false); !errors.Is(err, ErrFinalized) {
+		t.Fatalf("publish after final: %v, want ErrFinalized", err)
+	}
+
+	b.Reset()
+	if _, ok := b.Peek(); ok {
+		t.Fatal("buffer still holds a snapshot after Reset")
+	}
+	s, err := b.Publish(30, false)
+	if err != nil {
+		t.Fatalf("publish after Reset: %v", err)
+	}
+	if s.Version != 1 || s.Final {
+		t.Fatalf("post-reset snapshot %+v, want version 1, not final", s)
+	}
+	// The retained pre-reset snapshot is immutable across the reuse.
+	if last.Value != 20 || last.Version != 2 || !last.Final {
+		t.Fatalf("retained snapshot mutated: %+v", last)
+	}
+}
+
+// TestBufferResetKeepsObservers: a pooled pipeline's telemetry observers
+// must survive reuse.
+func TestBufferResetKeepsObservers(t *testing.T) {
+	b := NewBuffer[int]("reset-obs", nil)
+	var seen []int
+	b.OnPublish(func(s Snapshot[int]) { seen = append(seen, s.Value) })
+	if _, err := b.Publish(1, true); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if _, err := b.Publish(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("observer saw %v, want [1 2]", seen)
+	}
+}
+
+// TestBufferResetWakesStaleWaiter: a reader left blocked across a reset is
+// woken rather than deadlocked, and then blocks against the new run.
+func TestBufferResetWakesStaleWaiter(t *testing.T) {
+	b := NewBuffer[int]("reset-waiter", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan Snapshot[int], 1)
+	go func() {
+		s, err := b.WaitNewer(ctx, 0)
+		if err == nil {
+			got <- s
+		}
+	}()
+	// Let the reader arm, then reset and publish the new run's version 1.
+	for b.waiter.Load() == nil {
+	}
+	b.Reset()
+	if _, err := b.Publish(7, true); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.Value != 7 || s.Version != 1 {
+		t.Fatalf("waiter got %+v, want value 7 version 1", s)
+	}
+}
+
+// resettableCounter builds a two-run automaton fixture: one stage that
+// publishes per-run state which OnReset must rewind.
+func resettableCounter(t *testing.T) (*Automaton, *Buffer[int]) {
+	t.Helper()
+	out := NewBuffer[int]("counter", nil)
+	a := New()
+	if err := a.AddStage("count", func(c *Context) error {
+		for i := 1; i <= 3; i++ {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			if _, err := out.Publish(i, i == 3); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.OnReset(out.Reset)
+	return a, out
+}
+
+// TestAutomatonResetReuse runs the same automaton twice and checks the
+// second run is indistinguishable from a fresh one.
+func TestAutomatonResetReuse(t *testing.T) {
+	a, out := resettableCounter(t)
+	for cycle := 1; cycle <= 3; cycle++ {
+		if err := a.Start(context.Background()); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := a.Wait(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		s, ok := out.Latest()
+		if !ok || s.Value != 3 || s.Version != 3 || !s.Final {
+			t.Fatalf("cycle %d: terminal snapshot %+v ok=%v", cycle, s, ok)
+		}
+		if err := a.Reset(); err != nil {
+			t.Fatalf("cycle %d: reset: %v", cycle, err)
+		}
+		if _, ok := out.Peek(); ok {
+			t.Fatalf("cycle %d: buffer not rewound", cycle)
+		}
+	}
+}
+
+// TestAutomatonResetWhileRunningFails: Reset is a quiescence-only
+// operation.
+func TestAutomatonResetWhileRunningFails(t *testing.T) {
+	block := make(chan struct{})
+	a := New()
+	if err := a.AddStage("hang", func(c *Context) error {
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reset(); err == nil {
+		t.Fatal("reset of a running automaton succeeded")
+	}
+	close(block)
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Reset(); err != nil {
+		t.Fatalf("reset after completion: %v", err)
+	}
+}
+
+// TestAutomatonResetClearsInterrupt: an interrupted run's ErrStopped and a
+// pending pause must not leak into the next checkout.
+func TestAutomatonResetClearsInterrupt(t *testing.T) {
+	a, out := resettableCounter(t)
+	started := make(chan struct{})
+	var once bool
+	a.OnReset(func() { once = true })
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(started)
+	a.Stop()
+	a.Pause() // a pause left closed after the run
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if !once {
+		t.Fatal("OnReset hook did not run")
+	}
+	if a.Paused() {
+		t.Fatal("pause gate still closed after Reset")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("terminal error survived Reset: %v", err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatalf("restart after reset: %v", err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if s, ok := out.Latest(); !ok || !s.Final {
+		t.Fatalf("second run terminal snapshot %+v ok=%v", s, ok)
+	}
+}
+
+// TestStreamResetDrains: updates stranded by an interrupt are gone after
+// Reset.
+func TestStreamResetDrains(t *testing.T) {
+	s, err := NewStream[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ch <- Update[int]{Seq: 1, Data: 10}
+	s.ch <- Update[int]{Seq: 2, Data: 20}
+	s.Reset()
+	if n := len(s.ch); n != 0 {
+		t.Fatalf("%d updates left after Reset", n)
+	}
+}

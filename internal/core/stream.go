@@ -85,6 +85,21 @@ func (s *Stream[X]) Recv(c *Context) (u Update[X], ok bool, err error) {
 // Close defensively afterwards.
 func (s *Stream[X]) Close() { close(s.ch) }
 
+// Reset drains any updates left in flight by an interrupted run, so a
+// reused automaton's consumer does not fold stale updates from its
+// previous request. Like Buffer.Reset it must only be called during
+// quiescence (no Send or Recv running), typically from an OnReset hook; it
+// is meaningless on a stream whose producer has Closed it.
+func (s *Stream[X]) Reset() {
+	for {
+		select {
+		case <-s.ch:
+		default:
+			return
+		}
+	}
+}
+
 // SyncConsume implements the consumer side of a synchronous edge: it folds
 // every update exactly once, in order, until the Last update (or stream
 // close) and then returns. fold typically publishes the running accumulator

@@ -232,6 +232,16 @@ func (tc *TileCloner) Invalidate(d *DirtyTiles) {
 	}
 }
 
+// InvalidateAll marks every tile of every ring member stale, as if the
+// whole source image changed. It is the reuse primitive: a pooled stage
+// whose working image is about to be rewritten for a new input calls it so
+// no ring member can publish pixels left over from the previous run.
+func (tc *TileCloner) InvalidateAll() {
+	for _, s := range tc.stale {
+		s.MarkAll()
+	}
+}
+
 // Sync brings the next ring image up to date by re-rendering only its
 // stale tiles through render (render must write every pixel of the tile it
 // is given), then returns it. The returned image must not be written by the
@@ -384,6 +394,28 @@ func (s *Snapshotter) Snapshot() (*Image, error) {
 	}
 	s.cloner.Invalidate(s.merge)
 	return s.cloner.Sync(s.renderTile), nil
+}
+
+// Reset rewinds the snapshotter for a new run over the same working image:
+// the filled mask and per-worker dirty sets are cleared, and in
+// SnapshotTiles mode every ring member is marked fully stale so no snapshot
+// of the new run can alias pixels from the previous one. Like Snapshot it
+// must run during quiescence (no Mark running); the stage's OnReset hook is
+// the natural call site. The working image itself belongs to the stage and
+// is not touched — its stale content is unreachable because hold-fill only
+// reads filled pixels, and the first round always fills the tree root.
+func (s *Snapshotter) Reset() {
+	for i := range s.filled {
+		s.filled[i] = false
+	}
+	if s.mode != SnapshotTiles {
+		return
+	}
+	for _, d := range s.dirty {
+		d.Reset()
+	}
+	s.merge.Reset()
+	s.cloner.InvalidateAll()
 }
 
 // renderTile renders tile t of the hold-filled approximation into dst.

@@ -364,3 +364,90 @@ func TestSnapshotterCloneSnapshotsImmutable(t *testing.T) {
 		t.Fatal("clone-mode snapshot mutated by later publishes")
 	}
 }
+
+// TestSnapshotterResetReuse: after Reset a snapshotter over a rewritten
+// working image behaves exactly like a fresh one — every version of the
+// second run is bit-identical to HoldFill, with no pixels leaking from the
+// first run through stale filled bits or stale ring tiles.
+func TestSnapshotterResetReuse(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	working := MustNew(48, 40, 1)
+	s, err := NewSnapshotter(working, 2, SnapshotTiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := fillTreeOrder(working.W, working.H)
+	run := func(cycle int) {
+		for i, idx := range order {
+			working.Pix[idx] = int32(rnd.Intn(256))
+			s.Mark(i%2, idx)
+			if (i+1)%61 == 0 || i == len(order)-1 {
+				got, err := s.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := HoldFill(working, s.Filled())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("cycle %d mark %d: snapshot diverged from HoldFill", cycle, i)
+				}
+			}
+		}
+	}
+	for cycle := 1; cycle <= 3; cycle++ {
+		run(cycle)
+		s.Reset()
+		for i, f := range s.Filled() {
+			if f {
+				t.Fatalf("cycle %d: filled[%d] survived Reset", cycle, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotterResetCloneMode: Reset also clears the mask in clone mode.
+func TestSnapshotterResetCloneMode(t *testing.T) {
+	working := MustNew(8, 8, 1)
+	s, err := NewSnapshotter(working, 1, SnapshotClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	working.SetGray(0, 0, 9)
+	s.Mark(0, 0)
+	s.Reset()
+	if s.Filled()[0] {
+		t.Fatal("filled mask survived Reset")
+	}
+}
+
+// TestTileClonerInvalidateAll: after InvalidateAll every ring member
+// re-renders every tile.
+func TestTileClonerInvalidateAll(t *testing.T) {
+	src := MustNew(64, 64, 1) // 2x2 tiles
+	tc, err := NewTileCloner(src.W, src.H, src.C, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(dst *Image, tile int) { tc.Grid().CopyTile(dst, src, tile) }
+	for i := 0; i < tc.Depth(); i++ {
+		tc.Sync(render)
+	}
+	var n int
+	tc.Sync(func(dst *Image, tile int) { n++; render(dst, tile) })
+	if n != 0 {
+		t.Fatalf("clean sync rendered %d tiles, want 0", n)
+	}
+	tc.InvalidateAll()
+	for i := 0; i < tc.Depth(); i++ {
+		n = 0
+		out := tc.Sync(func(dst *Image, tile int) { n++; render(dst, tile) })
+		if n != 4 {
+			t.Fatalf("post-InvalidateAll sync %d rendered %d tiles, want 4", i, n)
+		}
+		if !out.Equal(src) {
+			t.Fatalf("post-InvalidateAll sync %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package serve
+
+import "time"
+
+// Hooks is the package's observer interface: optional callbacks invoked at
+// the serving runtime's decision points. A nil *Hooks (or any nil field)
+// costs one pointer check; internal/telemetry.ServeHooks returns a Hooks
+// that reports into the process metrics registry.
+//
+// Callbacks run synchronously on the serving goroutine that triggered them
+// and must not block.
+type Hooks struct {
+	// PoolGet runs after a pool checkout. warm reports whether the entry
+	// came from the idle set (true) or had to be built fresh (false).
+	PoolGet func(pool string, warm bool)
+	// PoolPut runs after a pool check-in. retained reports whether the
+	// entry went back to the idle set (false means it was discarded — the
+	// pool was full or the reset failed).
+	PoolPut func(pool string, retained bool)
+	// QueueEnqueue runs when a request starts waiting for an execution
+	// slot, with the queue depth including it.
+	QueueEnqueue func(depth int)
+	// QueueAcquire runs when a request obtains an execution slot, with the
+	// time it spent waiting (zero on the uncontended fast path).
+	QueueAcquire func(wait time.Duration)
+	// QueueReject runs when admission control turns a request away because
+	// the wait queue is full.
+	QueueReject func()
+	// Shed runs when the load controller scales a request's contract, with
+	// the factor applied (1 means no shedding).
+	Shed func(factor float64)
+	// Deliver runs when a request's snapshot is delivered. interrupted
+	// reports an early stop (deadline fired or acceptance met before the
+	// precise output); final reports whether the delivered snapshot is the
+	// precise output.
+	Deliver func(interrupted, final bool, elapsed time.Duration)
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Queue.Acquire when the wait queue is at
+// capacity: admission control has decided this request should be turned
+// away now rather than queued indefinitely.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// Queue is a FIFO-fair bounded admission queue: at most slots requests run
+// concurrently, at most waiters more may wait for a slot, and slots are
+// granted strictly in arrival order. It replaces the bare semaphore
+// pattern (select on a channel), which under burst wakes waiters in
+// arbitrary order and queues them without bound — a late-arriving request
+// could starve an early one indefinitely while both held client
+// connections open.
+//
+// A freed slot is handed directly to the oldest waiter rather than
+// returned to a free count, so FIFO ordering holds even under contention.
+type Queue struct {
+	slots      int
+	maxWaiters int
+	h          *Hooks
+
+	mu      sync.Mutex
+	free    int
+	running int
+	waiters []chan struct{} // arrival order; closed to grant a slot
+}
+
+// NewQueue returns a queue with the given concurrency slots and wait-queue
+// bound. waiters may be zero: then any request arriving while all slots
+// are busy is rejected immediately.
+func NewQueue(slots, waiters int, h *Hooks) (*Queue, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("serve: queue slots %d must be positive", slots)
+	}
+	if waiters < 0 {
+		return nil, fmt.Errorf("serve: queue waiters %d must not be negative", waiters)
+	}
+	return &Queue{slots: slots, maxWaiters: waiters, h: h, free: slots}, nil
+}
+
+// Acquire obtains an execution slot, waiting in FIFO order behind earlier
+// requests. It returns ErrQueueFull if the wait queue is at capacity and
+// ctx.Err() if the context is cancelled while waiting (the request's place
+// in line is given up).
+func (q *Queue) Acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.free > 0 && len(q.waiters) == 0 {
+		q.free--
+		q.running++
+		q.mu.Unlock()
+		if q.h != nil && q.h.QueueAcquire != nil {
+			q.h.QueueAcquire(0)
+		}
+		return nil
+	}
+	if len(q.waiters) >= q.maxWaiters {
+		q.mu.Unlock()
+		if q.h != nil && q.h.QueueReject != nil {
+			q.h.QueueReject()
+		}
+		return ErrQueueFull
+	}
+	grant := make(chan struct{})
+	q.waiters = append(q.waiters, grant)
+	depth := len(q.waiters)
+	q.mu.Unlock()
+	if q.h != nil && q.h.QueueEnqueue != nil {
+		q.h.QueueEnqueue(depth)
+	}
+	start := time.Now()
+	select {
+	case <-grant:
+		if q.h != nil && q.h.QueueAcquire != nil {
+			q.h.QueueAcquire(time.Since(start))
+		}
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		for i, w := range q.waiters {
+			if w == grant {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				q.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		q.mu.Unlock()
+		// Release raced us: the slot was already granted (grant is closed).
+		// We own it and must hand it on.
+		q.Release()
+		return ctx.Err()
+	}
+}
+
+// Release frees the caller's slot, handing it directly to the oldest
+// waiter if any.
+func (q *Queue) Release() {
+	q.mu.Lock()
+	if len(q.waiters) > 0 {
+		grant := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.mu.Unlock()
+		close(grant)
+		return
+	}
+	q.running--
+	q.free++
+	q.mu.Unlock()
+}
+
+// Depth reports the number of requests currently waiting for a slot — the
+// load signal the Controller feeds on.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}
+
+// Running reports the number of slots currently held.
+func (q *Queue) Running() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running
+}
+
+// Slots reports the queue's concurrency bound.
+func (q *Queue) Slots() int { return q.slots }
