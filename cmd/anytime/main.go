@@ -8,7 +8,7 @@
 //	        [-size N] [-workers N] [-seed N]
 //	        [-halt FRACTION] [-in image.pgm] [-out image.pgm]
 //	        [-tiles] [-publish every|demand|adaptive]
-//	        [-telemetry] [-curve curve.json]
+//	        [-telemetry] [-curve curve.json] [-reqtrace]
 //
 // The tool measures the precise baseline, starts the automaton, halts it at
 // the requested fraction of the baseline runtime (1.0 or more lets it run
@@ -24,13 +24,16 @@
 // exposes at /metrics) and dumps a summary table on exit. -curve records
 // the run's accuracy-versus-time samples, writes them as JSON, and prints
 // the ASCII runtime–accuracy plot the harness draws for the paper's §V
-// figures.
+// figures. -reqtrace records the run as a request trace — the same span
+// model anytimed keeps in its flight recorder — and prints the span tree
+// (run lifecycle, every publish, delivery) with the publish timeline.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -44,6 +47,7 @@ import (
 	"anytime/internal/harness"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/reqtrace"
 	"anytime/internal/telemetry"
 	"anytime/internal/trace"
 )
@@ -72,6 +76,7 @@ type opts struct {
 	diff      string
 	trace     bool
 	telemetry bool
+	reqtrace  bool
 	curve     string
 	tiles     bool
 	publish   string
@@ -88,6 +93,7 @@ func parseFlags(args []string) (opts, error) {
 	fs.Float64Var(&o.accept, "accept", 0, "stop automatically once output SNR reaches this many dB (0 disables)")
 	fs.BoolVar(&o.trace, "trace", false, "print an ASCII publish timeline after the run")
 	fs.BoolVar(&o.telemetry, "telemetry", false, "attach the metrics registry and dump a summary table on exit")
+	fs.BoolVar(&o.reqtrace, "reqtrace", false, "record the run as a request trace and print its span tree afterwards")
 	fs.StringVar(&o.curve, "curve", "", "record the accuracy-vs-time curve, write it as JSON here, and print its plot")
 	fs.StringVar(&o.in, "in", "", "input PGM/PPM file (optional; synthetic input otherwise)")
 	fs.StringVar(&o.out, "out", "", "write the halted output image here (optional)")
@@ -141,10 +147,26 @@ func run(o opts) error {
 		trace.Attach(tr, ar.out)
 	}
 	var reg *telemetry.Registry
+	var pipelineHooks *core.Hooks
 	if o.telemetry {
 		reg = telemetry.NewRegistry()
-		ar.automa.SetHooks(telemetry.PipelineHooks(reg))
+		pipelineHooks = telemetry.PipelineHooks(reg)
 		telemetry.ObserveBuffer(reg, ar.out)
+	}
+	// The request tracer attaches like anytimed's serving path does: a Slot
+	// carries the (eventual) trace, the publish observer and lifecycle hooks
+	// report through it, and the hooks chain with telemetry's on the
+	// automaton's single attachment point.
+	var slot *reqtrace.Slot
+	if o.reqtrace {
+		slot = &reqtrace.Slot{}
+		out := ar.out
+		out.OnPublish(func(s core.Snapshot[*pix.Image]) {
+			slot.Publish(out.Name(), uint64(s.Version), len(s.Value.Pix), s.Final)
+		})
+	}
+	if h := core.ChainHooks(pipelineHooks, slot.CoreHooks()); h != nil {
+		ar.automa.SetHooks(h)
 	}
 	var rec *telemetry.AccuracyRecorder
 	if o.curve != "" {
@@ -166,6 +188,13 @@ func run(o opts) error {
 	}
 	if rec != nil {
 		rec.Begin()
+	}
+	// The trace starts here, not at attach time, so its offsets measure the
+	// anytime run alone — not the baseline timing runs above.
+	var rtr *reqtrace.Trace
+	if slot != nil {
+		_, rtr = reqtrace.New(context.Background(), o.app)
+		slot.Bind(rtr)
 	}
 
 	var snap core.Snapshot[*pix.Image]
@@ -230,6 +259,19 @@ func run(o opts) error {
 	}
 	if tr != nil {
 		if err := tr.Timeline(os.Stdout, 72); err != nil {
+			return err
+		}
+	}
+	if rtr != nil {
+		snr := db
+		if math.IsInf(snr, 0) || math.IsNaN(snr) {
+			snr = 0 // precise output: no finite SNR to record
+		}
+		rtr.Deliver(uint64(snap.Version), snap.Final, !snap.Final, snr, elapsed)
+		slot.Unbind()
+		rtr.Finish(0)
+		fmt.Println("request trace:")
+		if err := rtr.WriteDetail(os.Stdout, 72); err != nil {
 			return err
 		}
 	}

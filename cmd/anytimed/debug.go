@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"anytime/internal/reqtrace"
+)
+
+// registerDebugRequests mounts the flight recorder's inspection endpoints.
+// Like the other operational endpoints they bypass the request middleware —
+// looking at the recorder must not show up in it.
+//
+//	GET /debug/requests          newest-first summary table of retained traces
+//	GET /debug/requests?id=<ID>  one trace in full: span tree + publish timeline
+//	GET /debug/requests.json     the same data machine-readable
+//
+// The ID is the X-Anytime-Trace response header, so "this request was slow,
+// why?" is one copy-paste away from its full span timeline — if the trace
+// was interesting enough to keep (errors, rejections, deadline misses, shed
+// requests, and the slowest always are; unremarkable successes are sampled).
+func (s *server) registerDebugRequests() {
+	s.mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if id := r.URL.Query().Get("id"); id != "" {
+			t := s.recorder.Find(id)
+			if t == nil {
+				http.Error(w, "trace not found (evicted, sampled out, or never seen)", http.StatusNotFound)
+				return
+			}
+			_ = t.WriteDetail(w, 60)
+			return
+		}
+		st := s.recorder.Stats()
+		fmt.Fprintf(w, "flight recorder: %d/%d traces held, %d recorded, %d sampled out, %d evicted\n",
+			st.Held, st.Capacity, st.Recorded, st.SampledOut, st.Evicted)
+		fmt.Fprintf(w, "detail: GET /debug/requests?id=<ID>  (IDs are echoed as X-Anytime-Trace)\n\n")
+		_ = reqtrace.WriteList(w, s.recorder.Snapshot())
+	})
+	s.mux.HandleFunc("GET /debug/requests.json", func(w http.ResponseWriter, r *http.Request) {
+		traces := s.recorder.Snapshot()
+		views := make([]reqtrace.View, 0, len(traces))
+		for _, t := range traces {
+			views = append(views, t.View())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Stats  reqtrace.Stats  `json:"stats"`
+			Traces []reqtrace.View `json:"traces"`
+		}{s.recorder.Stats(), views})
+	})
+}

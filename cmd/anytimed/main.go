@@ -8,6 +8,7 @@
 //
 //	anytimed [-addr :8080] [-size 256] [-workers 2] [-slots 8] [-queue 32]
 //	         [-warm 1] [-overload shed] [-shed-min 0.25] [-pprof]
+//	         [-flight-recorder-size 256] [-trace-sample 16]
 //
 // Endpoints (all return binary PGM/PPM with X-Anytime-* headers):
 //
@@ -27,8 +28,16 @@
 //	                           counts and version watermarks, pool/queue/
 //	                           delivery series, HTTP request counts/latency
 //	GET /debug/vars            the same registry as expvar JSON
+//	GET /debug/requests        flight recorder: recent request traces with
+//	                           full span timelines (?id=<X-Anytime-Trace>
+//	                           for one trace; .json for machines)
 //	GET /healthz               liveness probe
 //	GET /debug/pprof/          runtime profiler (only with -pprof)
+//
+// Every app response carries an X-Anytime-Trace header naming its request
+// trace. Errors, rejections, deadline misses, shed requests, and the
+// slowest requests are always retained by the flight recorder; unremarkable
+// successes are sampled one in -trace-sample.
 //
 // docs/OPERATIONS.md is the operator's handbook: every flag and knob, pool
 // and queue sizing, the shed-versus-reject tradeoff, and the full metrics
@@ -54,15 +63,19 @@ func main() {
 	overload := flag.String("overload", "shed", "overload policy once requests queue: shed (scale deadlines down) or reject (queue bound only)")
 	shedMin := flag.Float64("shed-min", 0.25, "floor of the shed factor (fraction of the requested deadline)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flightSize := flag.Int("flight-recorder-size", 256, "completed request traces retained for /debug/requests")
+	traceSample := flag.Int("trace-sample", 16, "retain 1 in N unremarkable OK request traces (errors, rejections, deadline misses, sheds and the slowest are always retained)")
 	flag.Parse()
 
 	srv, err := newServer(*size, *workers, serverConfig{
-		pprof:    *pprofOn,
-		slots:    *slots,
-		queueLen: *queueLen,
-		warm:     *warm,
-		overload: *overload,
-		shedMin:  *shedMin,
+		pprof:       *pprofOn,
+		slots:       *slots,
+		queueLen:    *queueLen,
+		warm:        *warm,
+		overload:    *overload,
+		shedMin:     *shedMin,
+		flightSize:  *flightSize,
+		traceSample: *traceSample,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"anytime/internal/core"
 	"anytime/internal/metrics"
 	"anytime/internal/pix"
+	"anytime/internal/reqtrace"
 	"anytime/internal/serve"
 	"anytime/internal/telemetry"
 )
@@ -43,6 +45,12 @@ type server struct {
 	serveHooks *serve.Hooks
 	slotsInUse *telemetry.Gauge
 
+	// recorder is the always-on flight recorder: every app request gets a
+	// reqtrace.Trace, and completed traces land here (category-sampled) for
+	// /debug/requests. started anchors anytimed_uptime_seconds.
+	recorder *reqtrace.Recorder
+	started  time.Time
+
 	grayIn  *pix.Image
 	rgbIn   *pix.Image
 	blurRef *pix.Image
@@ -58,12 +66,14 @@ type server struct {
 // the documented defaults; queueLen -1 means "no waiting room" (reject as
 // soon as every slot is busy).
 type serverConfig struct {
-	pprof    bool
-	slots    int     // concurrent automata (0 = 8)
-	queueLen int     // bounded waiting room (0 = 32, -1 = none)
-	warm     int     // automata prebuilt per route pool (0 = 1)
-	overload string  // "shed" or "reject" ("" = shed)
-	shedMin  float64 // floor of the shed factor (0 = 0.25)
+	pprof       bool
+	slots       int     // concurrent automata (0 = 8)
+	queueLen    int     // bounded waiting room (0 = 32, -1 = none)
+	warm        int     // automata prebuilt per route pool (0 = 1)
+	overload    string  // "shed" or "reject" ("" = shed)
+	shedMin     float64 // floor of the shed factor (0 = 0.25)
+	flightSize  int     // completed traces retained for /debug/requests (0 = 256)
+	traceSample int     // retain 1 in N unremarkable OK traces (0 = 16)
 }
 
 func (c *serverConfig) normalize() error {
@@ -88,6 +98,12 @@ func (c *serverConfig) normalize() error {
 	if c.shedMin == 0 {
 		c.shedMin = 0.25
 	}
+	if c.flightSize == 0 {
+		c.flightSize = 256
+	}
+	if c.traceSample == 0 {
+		c.traceSample = 16
+	}
 	return nil
 }
 
@@ -109,6 +125,14 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	recorder, err := reqtrace.NewRecorder(reqtrace.RecorderConfig{
+		Size:        cfg.flightSize,
+		SampleEvery: cfg.traceSample,
+		Hooks:       telemetry.ReqtraceHooks(reg),
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		mux:     http.NewServeMux(),
 		workers: workers,
@@ -127,6 +151,8 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 		hooks:      telemetry.PipelineHooks(reg),
 		serveHooks: serveHooks,
 		slotsInUse: reg.Gauge(metricSlotsInUse, nil),
+		recorder:   recorder,
+		started:    time.Now(),
 		grayIn:     gray,
 		rgbIn:      rgb,
 	}
@@ -174,6 +200,7 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	s.handle("GET /cluster", s.handleApp(s.kmPool, s.kmRef))
 	s.registerStreams()
 	s.registerOps(cfg.pprof)
+	s.registerDebugRequests()
 	s.handle("GET /", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -189,6 +216,7 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 		fmt.Fprintln(w, "  GET /cluster/stream      live SSE for k-means")
 		fmt.Fprintln(w, "  GET /metrics             Prometheus exposition (stages, buffers, pools, HTTP)")
 		fmt.Fprintln(w, "  GET /debug/vars          expvar JSON view of the same registry")
+		fmt.Fprintln(w, "  GET /debug/requests      flight recorder: recent request traces (?id= for detail)")
 		fmt.Fprintln(w, "  GET /healthz             liveness probe")
 		fmt.Fprintln(w, "no knob: precise output")
 		fmt.Fprintln(w, "see docs/OPERATIONS.md for pool/queue sizing and the full metrics reference")
@@ -201,6 +229,12 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 // survive Reset, so attaching per request would pile observers onto reused
 // buffers. Buffer names recur across instances (every /blur automaton
 // publishes to the same-named buffer), so the series accumulate per route.
+//
+// Request tracing attaches the same way, through a per-instance
+// reqtrace.Slot: the publish observer and reset hook registered here are
+// permanent, and report into whichever request's trace is bound to the slot
+// at the moment they fire (no trace bound = one atomic load, nothing
+// recorded).
 func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Automaton, *core.Buffer[*pix.Image], error)) (*serve.Pool[*pix.Image], error) {
 	p, err := serve.NewPool(name, cfg.slots, func() (serve.Entry[*pix.Image], error) {
 		a, out, err := build()
@@ -209,7 +243,12 @@ func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Auto
 		}
 		a.SetHooks(s.hooks)
 		telemetry.ObserveBuffer(s.reg, out)
-		return serve.Entry[*pix.Image]{Automaton: a, Out: out}, nil
+		slot := &reqtrace.Slot{}
+		out.OnPublish(func(sn core.Snapshot[*pix.Image]) {
+			slot.Publish(out.Name(), uint64(sn.Version), len(sn.Value.Pix), sn.Final)
+		})
+		a.OnReset(slot.OnReset)
+		return serve.Entry[*pix.Image]{Automaton: a, Out: out, Slot: slot}, nil
 	}, s.serveHooks)
 	if err != nil {
 		return nil, err
@@ -223,11 +262,32 @@ func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Auto
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // handleApp builds the common anytime-over-HTTP flow around a route's warm
-// pool: admission, checkout, knob dispatch, delivery, check-in.
+// pool: admission, checkout, knob dispatch, delivery, check-in. Every
+// request gets a reqtrace.Trace (its ID is echoed in X-Anytime-Trace);
+// completed traces go to the flight recorder, which always keeps the
+// interesting ones — see /debug/requests.
 func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, tr := reqtrace.New(r.Context(), pool.Name())
+		r = r.WithContext(ctx)
+		sw, wrapped := w.(*statusWriter)
+		if !wrapped {
+			sw = &statusWriter{ResponseWriter: w}
+			w = sw
+		}
+		w.Header().Set("X-Anytime-Trace", tr.ID())
+		// Sealing must come after check-in (the deferred Put below runs
+		// first — defers are LIFO) so the reset and pool.put spans land
+		// inside the trace; only a sealed trace is admissible to the
+		// recorder.
+		defer func() {
+			tr.Finish(sw.status())
+			s.recorder.Record(tr)
+		}()
+
 		k, err := parseKnobs(r)
 		if err != nil {
+			tr.Error(err.Error())
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -237,25 +297,32 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			return
 		}
 		defer release()
-		entry, err := pool.Get()
+		entry, err := pool.Get(ctx)
 		if err != nil {
+			tr.Error(err.Error())
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		entry.Slot.Bind(tr)
 		// Check-in is deferred until after the response body is written:
 		// the next checkout may start republishing, and a snapshot's
 		// backing is only guaranteed immutable until the tile ring cycles
 		// around (the conformance immutability window). A failed check-in
-		// drops the entry; the pool rebuilds on demand.
-		defer func() { _ = pool.Put(entry) }()
+		// drops the entry; the pool rebuilds on demand. Unbind follows Put
+		// so the check-in's reset/pool.put events reach the trace.
+		defer func() {
+			_ = pool.Put(entry)
+			entry.Slot.Unbind()
+		}()
 
 		start := time.Now()
 		var snap core.Snapshot[*pix.Image]
 		deadlineFired := false
+		interrupted := false
 		effective := k.deadline
 		switch {
 		case k.accept > 0:
-			res, err := serve.RunUntil(r.Context(), entry, func(sn core.Snapshot[*pix.Image]) bool {
+			res, err := serve.RunUntil(ctx, entry, func(sn core.Snapshot[*pix.Image]) bool {
 				db, err := metrics.SNR(ref.Pix, sn.Value.Pix)
 				return err == nil && db >= k.accept
 			}, s.serveHooks)
@@ -263,36 +330,42 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 				httpRunError(w, err)
 				return
 			}
-			snap = res.Snapshot
+			snap, interrupted = res.Snapshot, res.Interrupted
 		case k.deadline > 0:
 			if s.shed {
-				effective = s.ctrl.Scale(k.deadline, s.queue.Depth())
+				effective = s.ctrl.Scale(ctx, k.deadline, s.queue.Depth())
 			}
-			res, err := serve.Run(r.Context(), entry, effective, s.serveHooks)
+			res, err := serve.Run(ctx, entry, effective, s.serveHooks)
 			if err != nil {
 				httpRunError(w, err)
 				return
 			}
 			snap, deadlineFired = res.Snapshot, res.Interrupted
+			interrupted = res.Interrupted
 		case k.hold > 0:
 			// Legacy raw knob: stop after the hold and take whatever is
 			// published — including nothing (504). The deadline knob is the
-			// contract that never returns empty-handed.
+			// contract that never returns empty-handed. The knob bypasses
+			// serve.Run, so the run spans are recorded here.
 			cancel := core.StopAfter(entry.Automaton, k.hold)
 			defer cancel()
-			if err := entry.Automaton.Start(r.Context()); err != nil {
+			tr.RunStart(k.hold)
+			if err := entry.Automaton.Start(ctx); err != nil {
+				tr.Error(err.Error())
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
 			<-entry.Automaton.Done()
+			tr.RunFinish(holdOutcome(entry.Automaton.Err()), time.Since(start))
 			sn, ok := entry.Out.Latest()
 			if !ok {
+				tr.Error("no output produced within the hold window")
 				http.Error(w, "no output produced within the hold window", http.StatusGatewayTimeout)
 				return
 			}
-			snap = sn
+			snap, interrupted = sn, !sn.Final
 		default:
-			res, err := serve.Run(r.Context(), entry, 0, s.serveHooks)
+			res, err := serve.Run(ctx, entry, 0, s.serveHooks)
 			if err != nil {
 				httpRunError(w, err)
 				return
@@ -302,9 +375,15 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 
 		db, err := metrics.SNR(ref.Pix, snap.Value.Pix)
 		if err != nil {
+			tr.Error(err.Error())
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		snrDB := db
+		if math.IsInf(snrDB, 0) || math.IsNaN(snrDB) {
+			snrDB = 0 // precise deliveries have no finite SNR; record "unmeasured"
+		}
+		tr.Deliver(uint64(snap.Version), snap.Final, interrupted, snrDB, time.Since(start))
 		s.recordDelivered(db, snap.Final)
 		var buf bytes.Buffer
 		if err := pix.EncodePNM(&buf, snap.Value); err != nil {
@@ -328,6 +407,19 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return
 		}
+	}
+}
+
+// holdOutcome folds a held automaton's terminal error into the outcome
+// vocabulary the run.finish span uses (precise | stopped | failed).
+func holdOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "precise"
+	case errors.Is(err, core.ErrStopped):
+		return "stopped"
+	default:
+		return "failed"
 	}
 }
 

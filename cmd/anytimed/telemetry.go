@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -28,6 +30,11 @@ const (
 	// anytime_serve_deliveries_total{outcome="precise"} instead — their SNR
 	// is +Inf.
 	metricDeliveredSNR = "anytimed_delivered_snr_millidb"
+	// metricBuildInfo is the conventional constant-1 info gauge carrying the
+	// build's identity as labels; metricUptime is seconds since the server
+	// was constructed, refreshed at each scrape.
+	metricBuildInfo = "anytimed_build_info"
+	metricUptime    = "anytimed_uptime_seconds"
 )
 
 // handle registers h under pattern with the per-request metrics middleware:
@@ -95,7 +102,7 @@ func (w *statusWriter) status() int {
 // profiler. These bypass the request middleware so scrapes don't count as
 // traffic.
 func (s *server) registerOps(enablePprof bool) {
-	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.Handle("GET /metrics", s.metricsHandler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	publishExpvarRegistry(s.reg)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +116,34 @@ func (s *server) registerOps(enablePprof bool) {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+}
+
+// metricsHandler wraps the registry's Prometheus handler with the two
+// process-identity series: anytimed_build_info (a constant-1 gauge whose
+// labels carry the module version and Go toolchain) and
+// anytimed_uptime_seconds, refreshed at scrape time so it is current
+// without a background ticker.
+func (s *server) metricsHandler() http.Handler {
+	s.reg.Gauge(metricBuildInfo, telemetry.Labels{
+		"version":   buildVersion(),
+		"goversion": runtime.Version(),
+	}).Set(1)
+	uptime := s.reg.Gauge(metricUptime, nil)
+	inner := s.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		uptime.Set(int64(time.Since(s.started).Seconds()))
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// buildVersion reports the main module's version from the binary's embedded
+// build info — "(devel)" for plain `go build`, a pseudo-version or tag for
+// module-installed builds, "unknown" when no build info is embedded.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // The expvar package rejects duplicate Publish names with a panic, but

@@ -205,3 +205,76 @@ func TestAdmitRejectsWhenSaturatedAndClientGone(t *testing.T) {
 		t.Errorf("slots gauge = %d after release, want 0", v)
 	}
 }
+
+// TestMetricsScrapeIsValidExposition validates the complete /metrics body
+// against the text exposition grammar (version 0.0.4): every line is a
+// `# TYPE` header or a well-formed sample whose family was declared first,
+// each family is declared exactly once, and the process-identity series
+// (anytimed_build_info, anytimed_uptime_seconds) are present. A scrape that
+// drifts from the grammar is silently dropped by real collectors, so this is
+// tested at the full-server level, with every subsystem's families live.
+func TestMetricsScrapeIsValidExposition(t *testing.T) {
+	s := testServer(t)
+	// Touch every subsystem: pipeline + pools (app request), the deadline
+	// path (delivered-accuracy histogram), streams, and the flight recorder.
+	for _, path := range []string{"/blur?hold=3ms", "/blur?deadline=1us", "/blur", "/blur/stream"} {
+		if rec := get(t, s, path); rec.Code != http.StatusOK && rec.Code != http.StatusGatewayTimeout {
+			t.Fatalf("%s: %d", path, rec.Code)
+		}
+	}
+	body := get(t, s, "/metrics").Body.String()
+
+	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	labelRe := `[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"`
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{` + labelRe + `(?:,` + labelRe + `)*\})? (-?[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$`)
+
+	declared := map[string]string{}
+	for n, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP") {
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			if _, dup := declared[m[1]]; dup {
+				t.Errorf("line %d: family %s declared twice", n+1, m[1])
+			}
+			declared[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: malformed comment %q", n+1, line)
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed sample %q", n+1, line)
+			continue
+		}
+		family := m[1]
+		if _, ok := declared[family]; !ok {
+			// Histogram children sample under derived names.
+			base := family
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base = strings.TrimSuffix(base, suffix)
+			}
+			if declared[base] != "histogram" {
+				t.Errorf("line %d: sample %s before its # TYPE header", n+1, family)
+			}
+		}
+	}
+
+	buildRe := regexp.MustCompile(`(?m)^anytimed_build_info\{goversion="go[^"]+",version="[^"]+"\} 1$`)
+	if !buildRe.MatchString(body) {
+		t.Error("exposition missing anytimed_build_info with goversion/version labels")
+	}
+	if counterValue(t, body, "anytimed_uptime_seconds") < 0 {
+		t.Error("exposition missing anytimed_uptime_seconds")
+	}
+	for _, family := range []string{
+		"anytimed_build_info", "anytimed_uptime_seconds",
+		"anytime_reqtrace_recorded_total",
+	} {
+		if declared[family] == "" {
+			t.Errorf("family %s not declared", family)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package conform
+
+import (
+	"context"
+	"testing"
+
+	"anytime/internal/reqtrace"
+)
+
+// TestTracerRidesChaosSweeps proves the observability contract from the
+// harness's side: a request tracer attached through Env.Hooks rides along
+// inside seeded chaos runs — interrupts, pauses, injected faults — without
+// perturbing a single invariant, while still observing every run's
+// lifecycle. The tracer is wired exactly as the serving path wires it: a
+// permanent reqtrace.Slot whose CoreHooks are chained after the chaos
+// scheduler's own hooks, with a fresh trace bound per run.
+func TestTracerRidesChaosSweeps(t *testing.T) {
+	t.Parallel()
+	app := &conv2dApp{}
+	slot := &reqtrace.Slot{}
+	seeds := uint64(schedulesPerApp(t) / 4)
+	if seeds < 4 {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		s := DeriveSchedule(app, seed)
+		env := &Env{Col: &Collector{}, Hooks: slot.CoreHooks()}
+		inst, err := app.Build(env, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tr := reqtrace.New(context.Background(), app.Name())
+		slot.Bind(tr)
+		res := runCycle(app, inst, env, s)
+		slot.Unbind()
+		tr.Finish(0)
+
+		if res.Failed() {
+			t.Fatalf("tracer perturbed seed %d:\n%s\nschedule: %s", seed, res.FailureSummary(), s)
+		}
+		// The chained hooks really fired: every run has its lifecycle spans.
+		var starts, finishes int
+		for _, e := range tr.Events() {
+			switch e.Kind {
+			case reqtrace.KindRunStart:
+				starts++
+			case reqtrace.KindRunFinish:
+				finishes++
+			}
+		}
+		if starts != 1 || finishes != 1 {
+			t.Fatalf("seed %d: trace saw %d run.start / %d run.finish, want 1/1", seed, starts, finishes)
+		}
+	}
+	// An unbound slot (no request in flight) must also be harmless.
+	s := DeriveSchedule(app, 1)
+	env := &Env{Col: &Collector{}, Hooks: slot.CoreHooks()}
+	inst, err := app.Build(env, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := runCycle(app, inst, env, s); res.Failed() {
+		t.Fatalf("unbound tracer perturbed the run:\n%s", res.FailureSummary())
+	}
+}

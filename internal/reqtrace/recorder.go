@@ -1,0 +1,236 @@
+package reqtrace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hooks is the recorder's observer interface, nil-guarded like core.Hooks:
+// internal/telemetry binds it to the process metrics registry so the
+// recorder's retention decisions are visible as exemplar counters at
+// /metrics.
+type Hooks struct {
+	// Recorded runs when a trace is retained, with its category label
+	// (error, rejected, deadline-miss, shed, slow, sampled).
+	Recorded func(category string)
+	// SampledOut runs when an OK trace is dropped by sampling — the trace
+	// is counted, not kept.
+	SampledOut func()
+	// Evicted runs when retaining a trace overwrote the ring's oldest.
+	Evicted func()
+}
+
+// Recorder is the always-on flight recorder: a bounded ring of completed,
+// sealed traces with category sampling. Errors, rejections, deadline
+// misses, shed requests, and the slowest-N are always retained; other
+// successes are retained one in SampleEvery and merely counted otherwise.
+// The ring overwrites oldest-first, so the recorder's memory is bounded by
+// Size regardless of traffic, and the view at /debug/requests is
+// newest-biased — exactly what a crash-cart inspection wants.
+//
+// Record is called once per request after Finish seals the trace, and the
+// readers (Snapshot, Find) copy pointers out under the same mutex, so the
+// lock is held for pointer shuffling only: recorded traces are immutable
+// and rendered without the lock.
+type Recorder struct {
+	size    int
+	sample  uint64
+	slowN   int
+	h       *Hooks
+	created time.Time
+
+	okSeen atomic.Uint64 // OK traces seen, for 1-in-SampleEvery sampling
+
+	mu      sync.Mutex
+	ring    []*Trace // ring[0..len) valid; next is the overwrite cursor
+	next    int
+	slow    []time.Duration // ascending; the N slowest retained OK elapsed times
+	kept    uint64
+	sampled uint64
+	evicted uint64
+}
+
+// RecorderConfig sizes a Recorder. Zero values take the defaults.
+type RecorderConfig struct {
+	// Size bounds the ring (default 256).
+	Size int
+	// SampleEvery retains one in this many unremarkable OK traces
+	// (default 16; 1 keeps every trace).
+	SampleEvery int
+	// SlowN is how many of the slowest OK traces bypass sampling
+	// (default 8; negative disables the slow category).
+	SlowN int
+	// Hooks receives the recorder's retention callbacks; may be nil.
+	Hooks *Hooks
+}
+
+// NewRecorder returns an empty flight recorder.
+func NewRecorder(cfg RecorderConfig) (*Recorder, error) {
+	if cfg.Size == 0 {
+		cfg.Size = 256
+	}
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("reqtrace: recorder size %d must be positive", cfg.Size)
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 16
+	}
+	if cfg.SampleEvery < 1 {
+		return nil, fmt.Errorf("reqtrace: sample-every %d must be positive", cfg.SampleEvery)
+	}
+	if cfg.SlowN == 0 {
+		cfg.SlowN = 8
+	}
+	if cfg.SlowN < 0 {
+		cfg.SlowN = 0
+	}
+	return &Recorder{
+		size:    cfg.Size,
+		sample:  uint64(cfg.SampleEvery),
+		slowN:   cfg.SlowN,
+		h:       cfg.Hooks,
+		created: time.Now(),
+		ring:    make([]*Trace, 0, cfg.Size),
+	}, nil
+}
+
+// Size reports the ring's capacity.
+func (r *Recorder) Size() int { return r.size }
+
+// SampleEvery reports the OK-trace sampling period.
+func (r *Recorder) SampleEvery() int { return int(r.sample) }
+
+// Record offers a sealed trace to the recorder; traces still in flight are
+// rejected outright (retaining a mutable trace would let /debug/requests
+// readers race the request's writers — the snapshot-immutability discipline
+// applies to trace records too). It returns the category the trace was
+// filed under and whether it was retained.
+func (r *Recorder) Record(t *Trace) (Category, bool) {
+	if r == nil || t == nil || !t.Done() {
+		return CategoryOK, false
+	}
+	cat := t.Category()
+	label := cat.String()
+	if cat == CategoryOK {
+		switch {
+		case r.admitSlow(t.Elapsed()):
+			cat, label = CategorySlow, CategorySlow.String()
+		case r.okSeen.Add(1)%r.sample == 0:
+			label = "sampled"
+		default:
+			r.mu.Lock()
+			r.sampled++
+			r.mu.Unlock()
+			if r.h != nil && r.h.SampledOut != nil {
+				r.h.SampledOut()
+			}
+			return CategoryOK, false
+		}
+	}
+	evicted := r.retain(t)
+	if r.h != nil && r.h.Recorded != nil {
+		r.h.Recorded(label)
+	}
+	if evicted && r.h != nil && r.h.Evicted != nil {
+		r.h.Evicted()
+	}
+	return cat, true
+}
+
+// admitSlow reports whether an OK trace with the given elapsed time ranks
+// among the slowest-N retained so far, updating the rank list if so.
+func (r *Recorder) admitSlow(elapsed time.Duration) bool {
+	if r.slowN == 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.slow) < r.slowN {
+		r.slow = append(r.slow, elapsed)
+		sort.Slice(r.slow, func(i, j int) bool { return r.slow[i] < r.slow[j] })
+		return true
+	}
+	if elapsed <= r.slow[0] {
+		return false
+	}
+	r.slow[0] = elapsed
+	sort.Slice(r.slow, func(i, j int) bool { return r.slow[i] < r.slow[j] })
+	return true
+}
+
+// retain files t in the ring, reporting whether an older trace was
+// overwritten.
+func (r *Recorder) retain(t *Trace) (evicted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kept++
+	if len(r.ring) < r.size {
+		r.ring = append(r.ring, t)
+		r.next = len(r.ring) % r.size
+		return false
+	}
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % r.size
+	r.evicted++
+	return true
+}
+
+// Snapshot returns the retained traces, newest first. The returned traces
+// are sealed and safe to render concurrently with further Records.
+func (r *Recorder) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.ring))
+	// ring[next-1] is the newest (next equals len until the ring wraps, so
+	// the same arithmetic covers both phases).
+	for i := 0; i < len(r.ring); i++ {
+		out = append(out, r.ring[(r.next-1-i+2*len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil.
+func (r *Recorder) Find(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.ring {
+		if t.ID() == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Stats is the recorder's own bookkeeping, exposed at /debug/requests.
+type Stats struct {
+	Held       int    `json:"held"`        // traces currently retained
+	Capacity   int    `json:"capacity"`    // ring size
+	Recorded   uint64 `json:"recorded"`    // traces ever retained
+	SampledOut uint64 `json:"sampled_out"` // OK traces counted but dropped
+	Evicted    uint64 `json:"evicted"`     // retained traces overwritten
+}
+
+// Stats returns the recorder's counters.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Held:       len(r.ring),
+		Capacity:   r.size,
+		Recorded:   r.kept,
+		SampledOut: r.sampled,
+		Evicted:    r.evicted,
+	}
+}

@@ -57,7 +57,7 @@ func BenchmarkPooledVsFresh(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e, err := pool.Get()
+			e, err := pool.Get(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -93,7 +93,7 @@ func BenchmarkPooledVsFresh(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			e, err := pool.Get()
+			e, err := pool.Get(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}

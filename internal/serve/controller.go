@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"time"
+
+	"anytime/internal/reqtrace"
 )
 
 // Controller is the load-adaptive accuracy policy: it maps admission-queue
@@ -65,13 +68,21 @@ func (c Controller) Factor(depth int) float64 {
 // deadline (run to precision) is never scaled — precision was an explicit
 // contract, and shedding it would break the bit-exactness promise; under
 // overload such requests are bounded by admission control instead.
-func (c Controller) Scale(deadline time.Duration, depth int) time.Duration {
+//
+// A request trace bound into ctx records the shed decision (factor and
+// effective deadline) whenever a factor below 1 is applied.
+func (c Controller) Scale(ctx context.Context, deadline time.Duration, depth int) time.Duration {
 	if deadline <= 0 {
 		return deadline
 	}
 	f := c.Factor(depth)
-	if f < 1 && c.H != nil && c.H.Shed != nil {
+	if f >= 1 {
+		return deadline
+	}
+	effective := time.Duration(float64(deadline) * f)
+	if c.H != nil && c.H.Shed != nil {
 		c.H.Shed(f)
 	}
-	return time.Duration(float64(deadline) * f)
+	reqtrace.FromContext(ctx).Shed(f, effective)
+	return effective
 }

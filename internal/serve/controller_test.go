@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -48,17 +49,17 @@ func TestControllerScale(t *testing.T) {
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Scale(100*time.Millisecond, 0); got != 100*time.Millisecond {
+	if got := c.Scale(context.Background(), 100*time.Millisecond, 0); got != 100*time.Millisecond {
 		t.Fatalf("unloaded scale = %v", got)
 	}
-	if got := c.Scale(100*time.Millisecond, 1); got != 75*time.Millisecond {
+	if got := c.Scale(context.Background(), 100*time.Millisecond, 1); got != 75*time.Millisecond {
 		t.Fatalf("half-loaded scale = %v, want 75ms", got)
 	}
-	if got := c.Scale(100*time.Millisecond, 50); got != 50*time.Millisecond {
+	if got := c.Scale(context.Background(), 100*time.Millisecond, 50); got != 50*time.Millisecond {
 		t.Fatalf("saturated scale = %v, want 50ms", got)
 	}
 	// Precise requests (no deadline) are never shed.
-	if got := c.Scale(0, 50); got != 0 {
+	if got := c.Scale(context.Background(), 0, 50); got != 0 {
 		t.Fatalf("precise request scaled to %v", got)
 	}
 	if len(shed) != 2 {

@@ -49,7 +49,7 @@ func ExamplePool() {
 		panic(err)
 	}
 	for request := 1; request <= 3; request++ {
-		entry, err := pool.Get()
+		entry, err := pool.Get(context.Background())
 		if err != nil {
 			panic(err)
 		}
@@ -156,9 +156,9 @@ func ExampleController() {
 	}
 	for _, depth := range []int{0, 4, 10} {
 		fmt.Printf("depth %2d: 100ms deadline becomes %v\n",
-			depth, ctrl.Scale(100*time.Millisecond, depth))
+			depth, ctrl.Scale(context.Background(), 100*time.Millisecond, depth))
 	}
-	fmt.Printf("precise requests stay precise: %v\n", ctrl.Scale(0, 10))
+	fmt.Printf("precise requests stay precise: %v\n", ctrl.Scale(context.Background(), 0, 10))
 	// Output:
 	// depth  0: 100ms deadline becomes 100ms
 	// depth  4: 100ms deadline becomes 62.5ms

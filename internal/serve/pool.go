@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"anytime/internal/reqtrace"
 )
 
 // Pool is a warm pool of resettable automata for one app configuration.
@@ -64,8 +67,10 @@ func (p *Pool[T]) Warm(n int) error {
 
 // Get checks out an entry: the most recently returned idle one (LIFO, so
 // its working set is the warmest) or a freshly built one when the idle set
-// is empty.
-func (p *Pool[T]) Get() (Entry[T], error) {
+// is empty. A request trace bound into ctx records the checkout and its
+// warm/fresh source.
+func (p *Pool[T]) Get(ctx context.Context) (Entry[T], error) {
+	tr := reqtrace.FromContext(ctx)
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
 		e := p.idle[n-1]
@@ -75,6 +80,7 @@ func (p *Pool[T]) Get() (Entry[T], error) {
 		if p.h != nil && p.h.PoolGet != nil {
 			p.h.PoolGet(p.name, true)
 		}
+		tr.PoolGet(p.name, true)
 		return e, nil
 	}
 	p.mu.Unlock()
@@ -85,6 +91,7 @@ func (p *Pool[T]) Get() (Entry[T], error) {
 	if p.h != nil && p.h.PoolGet != nil {
 		p.h.PoolGet(p.name, false)
 	}
+	tr.PoolGet(p.name, false)
 	return e, nil
 }
 
@@ -94,11 +101,16 @@ func (p *Pool[T]) Get() (Entry[T], error) {
 // capacity of idle entries or the reset fails, in which case the entry is
 // discarded. The automaton must be stopped or finished; a Put of a running
 // automaton returns the reset error and discards the entry.
+//
+// A trace still bound to the entry's Slot records the check-in (and, via
+// the automaton's OnReset hooks, the reset itself) — so the caller must
+// Unbind only after Put, and must do so before sealing the trace.
 func (p *Pool[T]) Put(e Entry[T]) error {
 	if err := e.Automaton.Reset(); err != nil {
 		if p.h != nil && p.h.PoolPut != nil {
 			p.h.PoolPut(p.name, false)
 		}
+		e.Slot.Trace().PoolPut(p.name, false)
 		return fmt.Errorf("serve: pool %q check-in: %w", p.name, err)
 	}
 	p.mu.Lock()
@@ -110,6 +122,7 @@ func (p *Pool[T]) Put(e Entry[T]) error {
 	if p.h != nil && p.h.PoolPut != nil {
 		p.h.PoolPut(p.name, retained)
 	}
+	e.Slot.Trace().PoolPut(p.name, retained)
 	return nil
 }
 

@@ -54,7 +54,7 @@ func TestPoolReuseAmortizesConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for cycle := 0; cycle < 5; cycle++ {
-		e, err := p.Get()
+		e, err := p.Get(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +99,7 @@ func TestPoolWarmPrebuilds(t *testing.T) {
 	if builds != 3 || p.Idle() != 3 {
 		t.Fatalf("warm built %d, idle %d; want 3, 3", builds, p.Idle())
 	}
-	e, err := p.Get()
+	e, err := p.Get(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,11 +120,11 @@ func TestPoolDiscardsBeyondCapacity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := p.Get()
+	a, err := p.Get(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.Get()
+	b, err := p.Get(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestPoolPutRunningAutomatonFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := p.Get()
+	e, err := p.Get(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestPoolConcurrentCheckouts(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				e, err := p.Get()
+				e, err := p.Get(context.Background())
 				if err != nil {
 					t.Error(err)
 					return

@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"sync"
 	"time"
+
+	"anytime/internal/reqtrace"
 )
 
 // ErrQueueFull is returned by Queue.Acquire when the wait queue is at
@@ -51,7 +54,13 @@ func NewQueue(slots, waiters int, h *Hooks) (*Queue, error) {
 // requests. It returns ErrQueueFull if the wait queue is at capacity and
 // ctx.Err() if the context is cancelled while waiting (the request's place
 // in line is given up).
+//
+// A request trace bound into ctx (reqtrace.New) records the admission
+// decision — enter/grant with the wait time, or reject — and, when the Go
+// execution tracer is running, the contended wait becomes an
+// "anytime.queue" region of the request's task.
 func (q *Queue) Acquire(ctx context.Context) error {
+	tr := reqtrace.FromContext(ctx)
 	q.mu.Lock()
 	if q.free > 0 && len(q.waiters) == 0 {
 		q.free--
@@ -60,6 +69,7 @@ func (q *Queue) Acquire(ctx context.Context) error {
 		if q.h != nil && q.h.QueueAcquire != nil {
 			q.h.QueueAcquire(0)
 		}
+		tr.QueueGrant(0)
 		return nil
 	}
 	if len(q.waiters) >= q.maxWaiters {
@@ -67,6 +77,7 @@ func (q *Queue) Acquire(ctx context.Context) error {
 		if q.h != nil && q.h.QueueReject != nil {
 			q.h.QueueReject()
 		}
+		tr.QueueReject(q.maxWaiters)
 		return ErrQueueFull
 	}
 	grant := make(chan struct{})
@@ -76,14 +87,27 @@ func (q *Queue) Acquire(ctx context.Context) error {
 	if q.h != nil && q.h.QueueEnqueue != nil {
 		q.h.QueueEnqueue(depth)
 	}
+	tr.QueueEnter(depth)
+	var region *rtrace.Region
+	if tr != nil {
+		region = rtrace.StartRegion(ctx, "anytime.queue")
+	}
 	start := time.Now()
 	select {
 	case <-grant:
-		if q.h != nil && q.h.QueueAcquire != nil {
-			q.h.QueueAcquire(time.Since(start))
+		if region != nil {
+			region.End()
 		}
+		wait := time.Since(start)
+		if q.h != nil && q.h.QueueAcquire != nil {
+			q.h.QueueAcquire(wait)
+		}
+		tr.QueueGrant(wait)
 		return nil
 	case <-ctx.Done():
+		if region != nil {
+			region.End()
+		}
 		q.mu.Lock()
 		for i, w := range q.waiters {
 			if w == grant {

@@ -37,9 +37,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	rtrace "runtime/trace"
 	"time"
 
 	"anytime/internal/core"
+	"anytime/internal/reqtrace"
 )
 
 // ErrNoOutput is returned when a run ends without a single published
@@ -54,6 +56,13 @@ var ErrNoOutput = errors.New("serve: run produced no output")
 type Entry[T any] struct {
 	Automaton *core.Automaton
 	Out       *core.Buffer[T]
+	// Slot, when non-nil, is the entry's request-trace binding point:
+	// instrumentation attached once at construction (buffer publish
+	// observers, OnReset hooks) reports into whichever trace is currently
+	// bound to it. The serving caller Binds the request's trace at checkout
+	// and Unbinds after Put; a nil Slot (tracing disabled) costs each
+	// observer one pointer check.
+	Slot *reqtrace.Slot
 }
 
 // Result is the outcome of a Run or RunUntil: the delivered snapshot and
@@ -87,10 +96,20 @@ type Result[T any] struct {
 // entry throughout and must still check it back into its pool afterwards;
 // Run always leaves the automaton stopped or finished, ready for Reset.
 func Run[T any](ctx context.Context, e Entry[T], deadline time.Duration, h *Hooks) (Result[T], error) {
+	tr := reqtrace.FromContext(ctx)
+	var region *rtrace.Region
+	if tr != nil {
+		region = rtrace.StartRegion(ctx, "anytime.run")
+	}
 	start := time.Now()
 	if err := e.Automaton.Start(ctx); err != nil {
+		if region != nil {
+			region.End()
+		}
+		tr.Error(err.Error())
 		return Result[T]{}, err
 	}
+	tr.RunStart(deadline)
 	done := e.Automaton.Done()
 	interrupted := false
 	if deadline > 0 {
@@ -100,9 +119,10 @@ func Run[T any](ctx context.Context, e Entry[T], deadline time.Duration, h *Hook
 		case <-ctx.Done():
 			timer.Stop()
 			e.Automaton.Stop()
-			return Result[T]{}, ctx.Err()
+			return runFail[T](tr, region, ctx.Err())
 		case <-timer.C:
 			interrupted = true
+			tr.DeadlineFired(deadline)
 			// Contract: deliver *something*. If the automaton has yet to
 			// publish its first version, wait for it (bounded by the
 			// client's context) before interrupting.
@@ -110,7 +130,7 @@ func Run[T any](ctx context.Context, e Entry[T], deadline time.Duration, h *Hook
 				if _, err := waitFirst(ctx, e, done); err != nil {
 					timer.Stop()
 					e.Automaton.Stop()
-					return Result[T]{}, err
+					return runFail[T](tr, region, err)
 				}
 			}
 		}
@@ -120,16 +140,16 @@ func Run[T any](ctx context.Context, e Entry[T], deadline time.Duration, h *Hook
 		case <-done:
 		case <-ctx.Done():
 			e.Automaton.Stop()
-			return Result[T]{}, ctx.Err()
+			return runFail[T](tr, region, ctx.Err())
 		}
 	}
 	e.Automaton.Stop()
 	if err := e.Automaton.Err(); err != nil && !errors.Is(err, core.ErrStopped) {
-		return Result[T]{}, err
+		return runFail[T](tr, region, err)
 	}
 	snap, ok := e.Out.Latest()
 	if !ok {
-		return Result[T]{}, ErrNoOutput
+		return runFail[T](tr, region, ErrNoOutput)
 	}
 	// A run that finished on its own before the deadline delivered the
 	// precise output; only a fired deadline that truly cut work short is an
@@ -139,7 +159,34 @@ func Run[T any](ctx context.Context, e Entry[T], deadline time.Duration, h *Hook
 	if h != nil && h.Deliver != nil {
 		h.Deliver(interrupted, snap.Final, res.Elapsed)
 	}
+	if region != nil {
+		region.End()
+	}
+	tr.RunFinish(runOutcome(e.Automaton.Err()), res.Elapsed)
 	return res, nil
+}
+
+// runFail ends the trace region and records the failure before returning
+// it.
+func runFail[T any](tr *reqtrace.Trace, region *rtrace.Region, err error) (Result[T], error) {
+	if region != nil {
+		region.End()
+	}
+	tr.Error(err.Error())
+	return Result[T]{}, err
+}
+
+// runOutcome folds an automaton's terminal error into the outcome
+// vocabulary the telemetry layer uses.
+func runOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "precise"
+	case errors.Is(err, core.ErrStopped):
+		return "stopped"
+	default:
+		return "failed"
+	}
 }
 
 // RunUntil executes a checked-out entry until accept admits a published
@@ -156,10 +203,20 @@ func RunUntil[T any](ctx context.Context, e Entry[T], accept func(core.Snapshot[
 	if accept == nil {
 		return Result[T]{}, fmt.Errorf("serve: RunUntil requires an accept predicate")
 	}
+	tr := reqtrace.FromContext(ctx)
+	var region *rtrace.Region
+	if tr != nil {
+		region = rtrace.StartRegion(ctx, "anytime.run")
+	}
 	start := time.Now()
 	if err := e.Automaton.Start(ctx); err != nil {
+		if region != nil {
+			region.End()
+		}
+		tr.Error(err.Error())
 		return Result[T]{}, err
 	}
+	tr.RunStart(0)
 	done := e.Automaton.Done()
 	// waitCtx unblocks WaitNewer when the automaton finishes on its own
 	// (clean precise completion or stage failure), not only on client
@@ -179,23 +236,23 @@ func RunUntil[T any](ctx context.Context, e Entry[T], accept func(core.Snapshot[
 		if err != nil {
 			e.Automaton.Stop()
 			if ctx.Err() != nil {
-				return Result[T]{}, ctx.Err()
+				return runFail[T](tr, region, ctx.Err())
 			}
 			// The automaton finished while we waited: deliver its terminal
 			// output, or its failure.
 			if err := e.Automaton.Err(); err != nil && !errors.Is(err, core.ErrStopped) {
-				return Result[T]{}, err
+				return runFail[T](tr, region, err)
 			}
 			final, ok := e.Out.Latest()
 			if !ok {
-				return Result[T]{}, ErrNoOutput
+				return runFail[T](tr, region, ErrNoOutput)
 			}
-			return deliver(h, final, false, start), nil
+			return deliverTraced(h, tr, region, e.Automaton, final, false, start), nil
 		}
 		last = snap.Version
 		if snap.Final || accept(snap) {
 			e.Automaton.Stop()
-			return deliver(h, snap, !snap.Final, start), nil
+			return deliverTraced(h, tr, region, e.Automaton, snap, !snap.Final, start), nil
 		}
 	}
 }
@@ -229,10 +286,14 @@ func waitFirst[T any](ctx context.Context, e Entry[T], done <-chan struct{}) (co
 	return core.Snapshot[T]{}, ErrNoOutput
 }
 
-func deliver[T any](h *Hooks, snap core.Snapshot[T], interrupted bool, start time.Time) Result[T] {
+func deliverTraced[T any](h *Hooks, tr *reqtrace.Trace, region *rtrace.Region, a *core.Automaton, snap core.Snapshot[T], interrupted bool, start time.Time) Result[T] {
 	res := Result[T]{Snapshot: snap, Interrupted: interrupted, Elapsed: time.Since(start)}
 	if h != nil && h.Deliver != nil {
 		h.Deliver(interrupted, snap.Final, res.Elapsed)
 	}
+	if region != nil {
+		region.End()
+	}
+	tr.RunFinish(runOutcome(a.Err()), res.Elapsed)
 	return res
 }

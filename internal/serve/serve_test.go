@@ -223,12 +223,12 @@ func TestServeCycleUnderConcurrency(t *testing.T) {
 				return
 			}
 			defer q.Release()
-			e, err := p.Get()
+			e, err := p.Get(ctx)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			deadline := ctrl.Scale(time.Duration(g%3)*50*time.Millisecond, q.Depth())
+			deadline := ctrl.Scale(ctx, time.Duration(g%3)*50*time.Millisecond, q.Depth())
 			res, err := Run(ctx, e, deadline, nil)
 			if err != nil {
 				t.Error(err)

@@ -1,0 +1,34 @@
+package telemetry
+
+import "anytime/internal/reqtrace"
+
+// Metric names of the flight-recorder binding.
+const (
+	MetricReqtraceRecorded   = "anytime_reqtrace_recorded_total"
+	MetricReqtraceSampledOut = "anytime_reqtrace_sampled_out_total"
+	MetricReqtraceEvicted    = "anytime_reqtrace_evicted_total"
+)
+
+// ReqtraceHooks returns a reqtrace.Hooks recording the flight recorder's
+// retention decisions into reg, so the sampling policy is auditable from
+// /metrics alongside the traffic it filters:
+//
+//   - anytime_reqtrace_recorded_total{category}: traces retained, by the
+//     category they were filed under (error | rejected | deadline-miss |
+//     shed | slow | sampled).
+//   - anytime_reqtrace_sampled_out_total: OK traces counted but dropped by
+//     1-in-N sampling. recorded{category="sampled"} + sampled_out together
+//     account for every unremarkable success.
+//   - anytime_reqtrace_evicted_total: retained traces overwritten by the
+//     bounded ring.
+func ReqtraceHooks(reg *Registry) *reqtrace.Hooks {
+	sampledOut := reg.Counter(MetricReqtraceSampledOut, nil)
+	evicted := reg.Counter(MetricReqtraceEvicted, nil)
+	return &reqtrace.Hooks{
+		Recorded: func(category string) {
+			reg.Counter(MetricReqtraceRecorded, Labels{"category": category}).Inc()
+		},
+		SampledOut: sampledOut.Inc,
+		Evicted:    evicted.Inc,
+	}
+}

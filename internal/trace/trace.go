@@ -73,10 +73,17 @@ func (t *Tracer) Events() []Event {
 // intermediate publish, '#' the final one, over a time axis of the given
 // width in characters. Rows are ordered by each buffer's first publish.
 func (t *Tracer) Timeline(w io.Writer, width int) error {
+	return RenderTimeline(w, t.Events(), width)
+}
+
+// RenderTimeline renders any event list in Timeline's layout — one row per
+// buffer over a shared time axis. It is exported so other recorders
+// (internal/reqtrace's per-request flight recorder) reuse the exact Figure 2
+// rendering for their publish events instead of reimplementing it.
+func RenderTimeline(w io.Writer, events []Event, width int) error {
 	if width < 10 {
 		width = 10
 	}
-	events := t.Events()
 	if len(events) == 0 {
 		_, err := fmt.Fprintln(w, "(no events)")
 		return err
