@@ -153,7 +153,18 @@ func (r *reader) at(x, y int) int32 {
 // convolvePixel computes the filtered value of output pixel (x, y): the
 // rounded weighted mean of the kernel window (separable weights), clamping
 // coordinates at the borders.
+//
+// The common case — reliable full-precision reads with the window fully
+// inside the image — takes a fast path over the raw pixel rows. Both paths
+// compute the same integer sum (the fast path merely re-associates it as
+// Σ_dy wy·(Σ_dx wx·v), exact in int64), so outputs are bit-identical.
+// Reads through approximate storage always take the slow path: the fault
+// stream of store.Array is stateful, so the read sequence must stay
+// exactly as it was.
 func convolvePixel(r *reader, weights []int64, wsum int64, w, h, half int, x, y int) int32 {
+	if r.arr == nil && r.drop == 0 && x >= half && y >= half && x+half < w && y+half < h {
+		return convolveInterior(r.img.Pix, weights, wsum, w, half, x, y)
+	}
 	var sum int64
 	for dy := -half; dy <= half; dy++ {
 		yy := clampCoord(y+dy, h)
@@ -162,6 +173,36 @@ func convolvePixel(r *reader, weights []int64, wsum int64, w, h, half int, x, y 
 			xx := clampCoord(x+dx, w)
 			sum += wy * weights[dx+half] * int64(r.at(xx, yy))
 		}
+	}
+	total := wsum * wsum
+	return int32((sum + total/2) / total)
+}
+
+// convolveInterior is convolvePixel's hot path: no clamping, no reader
+// indirection. Each kernel row is re-sliced once (one bounds check per
+// row, eliminated inside the loop by the full-slice expression) and the
+// row sum is unrolled four wide so the multiply-accumulate chains
+// pipeline.
+func convolveInterior(px []int32, weights []int64, wsum int64, w, half, x, y int) int32 {
+	size := 2*half + 1
+	weights = weights[:size:size]
+	var sum int64
+	base := (y-half)*w + x - half
+	for dy := 0; dy < size; dy++ {
+		row := px[base : base+size : base+size]
+		var rs int64
+		dx := 0
+		for ; dx+4 <= size; dx += 4 {
+			rs += weights[dx]*int64(row[dx]) +
+				weights[dx+1]*int64(row[dx+1]) +
+				weights[dx+2]*int64(row[dx+2]) +
+				weights[dx+3]*int64(row[dx+3])
+		}
+		for ; dx < size; dx++ {
+			rs += weights[dx] * int64(row[dx])
+		}
+		sum += weights[dy] * rs
+		base += w
 	}
 	total := wsum * wsum
 	return int32((sum + total/2) / total)

@@ -1,0 +1,68 @@
+package debayer
+
+import (
+	"testing"
+
+	"anytime/internal/pix"
+)
+
+// The per-pixel bilinear interpolation is debayer's serving-path kernel;
+// BENCH_kernels.json pins these numbers.
+
+func benchMosaic(b *testing.B, w, h int) *pix.Image {
+	b.Helper()
+	rgb, err := pix.SyntheticRGB(w, h, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := pix.BayerGRBG(rgb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkInterpolateInterior is the hot case: all 3x3 neighbors in
+// bounds, one pixel of each GRBG parity per iteration.
+func BenchmarkInterpolateInterior(b *testing.B) {
+	in := benchMosaic(b, 256, 256)
+	var sink int32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := 64 + i%64*2
+		r, g, bb := interpolate(in, x, 100)
+		sink += r + g + bb
+		r, g, bb = interpolate(in, x+1, 100)
+		sink += r + g + bb
+		r, g, bb = interpolate(in, x, 101)
+		sink += r + g + bb
+		r, g, bb = interpolate(in, x+1, 101)
+		sink += r + g + bb
+	}
+	_ = sink
+}
+
+// BenchmarkInterpolateBorder clamps the neighborhood at the image edge —
+// the slow path the interior fast path must not regress.
+func BenchmarkInterpolateBorder(b *testing.B) {
+	in := benchMosaic(b, 256, 256)
+	var sink int32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, g, bb := interpolate(in, i%4, 0)
+		sink += r + g + bb
+	}
+	_ = sink
+}
+
+// BenchmarkPrecise256 is the whole-image baseline pass (single worker).
+func BenchmarkPrecise256(b *testing.B) {
+	in := benchMosaic(b, 256, 256)
+	b.SetBytes(int64(in.Pixels()) * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Precise(in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -66,8 +66,14 @@ func (cfg Config) validate(in *pix.Image) error {
 
 // interpolate computes the full RGB value at (x, y) of the GRBG mosaic by
 // averaging the nearest mosaic sites of each color channel (bilinear
-// demosaicing with clamped borders).
+// demosaicing with clamped borders). Interior pixels take a single-pass
+// fast path; border pixels fall back to the channel-by-channel scan. Both
+// visit exactly the same mosaic sites per channel, so results are
+// bit-identical.
 func interpolate(m *pix.Image, x, y int) (r, g, b int32) {
+	if x >= 1 && y >= 1 && x+1 < m.W && y+1 < m.H {
+		return interpolateInterior(m, x, y)
+	}
 	for c := 0; c < 3; c++ {
 		v := channelAt(m, x, y, c)
 		switch c {
@@ -80,6 +86,63 @@ func interpolate(m *pix.Image, x, y int) (r, g, b int32) {
 		}
 	}
 	return r, g, b
+}
+
+// interpolateInterior gathers the 3x3 neighborhood once, accumulating a
+// sum and site count per channel, instead of re-scanning the neighborhood
+// for each of the three channels with per-site bounds checks. Each row is
+// re-sliced once (full-slice expression, so the inner loads are
+// bounds-check-free) and the GRBG parity of a site reduces to the parities
+// of its coordinates. The channel sampled at (x, y) itself returns the raw
+// sensor value, as in channelAt.
+func interpolateInterior(m *pix.Image, x, y int) (r, g, b int32) {
+	w := m.W
+	px := m.Pix
+	var sum [3]int64
+	var cnt [3]int64
+	base := (y-1)*w + x - 1
+	for dy := 0; dy < 3; dy++ {
+		row := px[base : base+3 : base+3]
+		yy := y + dy - 1
+		// GRBG: even rows alternate G R G…, odd rows B G B… (by x parity).
+		if yy&1 == 0 {
+			if x&1 == 0 { // columns x-1, x, x+1 are odd, even, odd
+				sum[0] += int64(row[0]) + int64(row[2])
+				cnt[0] += 2
+				sum[1] += int64(row[1])
+				cnt[1]++
+			} else {
+				sum[1] += int64(row[0]) + int64(row[2])
+				cnt[1] += 2
+				sum[0] += int64(row[1])
+				cnt[0]++
+			}
+		} else {
+			if x&1 == 0 {
+				sum[1] += int64(row[0]) + int64(row[2])
+				cnt[1] += 2
+				sum[2] += int64(row[1])
+				cnt[2]++
+			} else {
+				sum[2] += int64(row[0]) + int64(row[2])
+				cnt[2] += 2
+				sum[1] += int64(row[1])
+				cnt[1]++
+			}
+		}
+		base += w
+	}
+	center := pix.BayerChannelGRBG(x, y)
+	out := [3]int32{}
+	for c := 0; c < 3; c++ {
+		if c == center {
+			out[c] = px[y*w+x]
+			continue
+		}
+		s, n := sum[c], cnt[c]
+		out[c] = int32((s + n/2) / n)
+	}
+	return out[0], out[1], out[2]
 }
 
 // channelAt estimates channel c at (x, y) by averaging the mosaic samples

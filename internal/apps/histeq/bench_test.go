@@ -1,0 +1,82 @@
+package histeq
+
+import (
+	"testing"
+
+	"anytime/internal/perm"
+	"anytime/internal/pix"
+)
+
+// histeq's two diffusive stages are table-lookup kernels: the histogram
+// build (one increment per sampled pixel) and the LUT application (one
+// lookup + store per output pixel). Their per-element cost is what the
+// batched diffusive runner has to keep proportionate; BENCH_kernels.json
+// pins these numbers.
+
+func benchGray(b *testing.B, w, h int) *pix.Image {
+	b.Helper()
+	img, err := pix.SyntheticGray(w, h, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+// BenchmarkHistSampled builds the full histogram through the LFSR sampling
+// order — the hist stage's inner loop, random-access pattern included.
+func BenchmarkHistSampled(b *testing.B) {
+	in := benchGray(b, 256, 256)
+	ord, err := perm.PseudoRandom(in.Pixels(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(in.Pixels()) * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var h Hist
+		n := ord.Len()
+		for pos := 0; pos < n; pos++ {
+			h.Counts[binOf(in.Pix[ord.At(pos)])]++
+		}
+		if h.Counts[0] < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkApplyLUT runs the apply stage's inner loop over the tree order:
+// one LUT lookup and one store per output pixel.
+func BenchmarkApplyLUT(b *testing.B) {
+	in := benchGray(b, 256, 256)
+	ord, err := perm.Tree2D(in.H, in.W)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h Hist
+	for _, v := range in.Pix {
+		h.Counts[binOf(v)]++
+	}
+	lut := buildLUT(buildCDF(&h))
+	out := pix.MustNew(in.W, in.H, 1)
+	b.SetBytes(int64(in.Pixels()) * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := ord.Len()
+		for pos := 0; pos < n; pos++ {
+			dst := ord.At(pos)
+			out.Pix[dst] = lut.Map[binOf(in.Pix[dst])]
+		}
+	}
+}
+
+// BenchmarkPrecise256 is the whole-image baseline pass (single worker).
+func BenchmarkPrecise256(b *testing.B) {
+	in := benchGray(b, 256, 256)
+	b.SetBytes(int64(in.Pixels()) * 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Precise(in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -246,21 +246,30 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 	}
 	// With ReorderInput, position pos of the order reads reordered[pos]
 	// (sequential); otherwise it reads in.Pix[inOrd.At(pos)] (random).
-	// Both visit exactly the same multiset of pixels.
-	sample := func(pos int) int32 { return in.Pix[inOrd.At(pos)] }
+	// Both visit exactly the same multiset of pixels. The branch between
+	// the two lives outside the per-element loop: one table increment per
+	// pixel is cheap enough that a closure call per sample used to double
+	// the stage's cost.
+	var reordered []int32
 	if cfg.ReorderInput {
-		reordered, err := inOrd.Reorder(in.Pix)
+		reordered, err = inOrd.Reorder(in.Pix)
 		if err != nil {
 			return nil, err
 		}
-		sample = func(pos int) int32 { return reordered[pos] }
 	}
 	if err := a.AddStage("hist", func(c *core.Context) error {
 		return core.DiffusiveBatch(c, histBuf, pixels,
 			func(worker, lo, hi int) error {
 				h := partials[worker]
-				for pos := lo; pos < hi; pos++ {
-					h.Counts[binOf(sample(pos))]++
+				if reordered != nil {
+					for _, v := range reordered[lo:hi] {
+						h.Counts[binOf(v)]++
+					}
+				} else {
+					px := in.Pix
+					for pos := lo; pos < hi; pos++ {
+						h.Counts[binOf(px[inOrd.At(pos)])]++
+					}
 				}
 				h.Processed += hi - lo
 				return nil
@@ -317,10 +326,15 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 			lut := s.Value
 			return core.DiffusiveBatch(c, out, pixels,
 				func(worker, lo, hi int) error {
+					// One lookup and one store per pixel: hoist the
+					// table, source, and destination so the loop carries
+					// no pointer chases through lut/working/in.
+					tab := &lut.Map
+					src, dst := in.Pix, working.Pix
 					for pos := lo; pos < hi; pos++ {
-						dst := outOrd.At(pos)
-						working.Pix[dst] = lut.Map[binOf(in.Pix[dst])]
-						snap.Mark(worker, dst)
+						d := outOrd.At(pos)
+						dst[d] = tab[binOf(src[d])]
+						snap.Mark(worker, d)
 					}
 					return nil
 				},

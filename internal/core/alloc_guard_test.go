@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// The per-update alloc budget guard. The serving path's per-update runner
+// was rebuilt to allocate only at pass setup (buffer, automaton, pool, and
+// — with real parallelism — the pool's worker goroutines); per-round costs
+// are allocation-free. These tests pin that property numerically so a
+// regression reintroducing per-round allocations (the old runner spawned
+// goroutines every round: 111 allocs/op at 4W) fails CI's bench-smoke
+// step. The budgets are 2× the measured post-rewrite counts, so routine
+// runtime drift doesn't trip them but a per-round leak (which multiplies
+// by the round count, 8 here) immediately does.
+
+// allocGuardTotal matches BenchmarkDiffusivePerUpdate's workload: 8 rounds
+// of total/8 updates through the per-update runner.
+const allocGuardTotal = 1 << 16
+
+// measuredPerUpdateAllocs are the pinned post-rewrite allocs per pass
+// (BENCH_kernels.json): 20 at 1 worker, 27 at 4 workers on the spawned
+// (GOMAXPROCS>1) path.
+var measuredPerUpdateAllocs = map[int]float64{1: 20, 4: 27}
+
+func runPerUpdatePass(t *testing.T, outArr []int32, workers int) {
+	t.Helper()
+	out := NewBuffer[int]("out", nil)
+	a := New()
+	err := a.AddStage("d", func(c *Context) error {
+		return DiffusiveWorkers(c, out, allocGuardTotal,
+			func(worker, pos int) error { outArr[pos] = int32(pos); return nil },
+			func(processed int) (int, error) { return processed, nil },
+			RoundConfig{Granularity: allocGuardTotal / 8, Workers: workers})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allocsPerPass(t *testing.T, workers int) float64 {
+	t.Helper()
+	outArr := make([]int32, allocGuardTotal)
+	runPerUpdatePass(t, outArr, workers) // warm up lazy runtime state
+	const runs = 50
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		runPerUpdatePass(t, outArr, workers)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs
+}
+
+// TestPerUpdateAllocBudget1W guards the single-worker per-update path.
+func TestPerUpdateAllocBudget1W(t *testing.T) {
+	got := allocsPerPass(t, 1)
+	if budget := 2 * measuredPerUpdateAllocs[1]; got > budget {
+		t.Fatalf("per-update pass at 1 worker allocates %.1f times, budget is %.0f (2x the pinned %.0f)",
+			got, budget, measuredPerUpdateAllocs[1])
+	}
+}
+
+// TestPerUpdateAllocBudget4W guards the multi-worker path. GOMAXPROCS is
+// forced to 2 for the measurement so the pool's spawned-goroutine path (the
+// one that used to cost 111 allocs/op) is exercised even on single-CPU
+// hosts, where the pool would otherwise run every span inline.
+func TestPerUpdateAllocBudget4W(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	got := allocsPerPass(t, 4)
+	if budget := 2 * measuredPerUpdateAllocs[4]; got > budget {
+		t.Fatalf("per-update pass at 4 workers allocates %.1f times, budget is %.0f (2x the pinned %.0f)",
+			got, budget, measuredPerUpdateAllocs[4])
+	}
+}

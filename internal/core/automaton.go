@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -327,9 +328,10 @@ func (c *Context) Checkpoint() error {
 
 // gate implements pause/resume as a swap-on-pause closed channel.
 type gate struct {
-	mu sync.Mutex
-	ch chan struct{} // closed while running; open (blocking) while paused
-	on bool          // paused?
+	mu   sync.Mutex
+	ch   chan struct{} // closed while running; open (blocking) while paused
+	on   bool          // paused?
+	hint atomic.Bool   // mirrors on; a lock-free poll for batched loops
 }
 
 func newGate() *gate {
@@ -343,6 +345,7 @@ func (g *gate) pause() {
 	defer g.mu.Unlock()
 	if !g.on {
 		g.on = true
+		g.hint.Store(true)
 		g.ch = make(chan struct{})
 	}
 }
@@ -352,9 +355,16 @@ func (g *gate) resume() {
 	defer g.mu.Unlock()
 	if g.on {
 		g.on = false
+		g.hint.Store(false)
 		close(g.ch)
 	}
 }
+
+// pauseHint reports, without taking the gate lock, whether a pause has been
+// requested. It may trail pause/resume by a moment; callers use it to decide
+// when to fall back to a full Checkpoint, which gives the authoritative
+// answer.
+func (g *gate) pauseHint() bool { return g.hint.Load() }
 
 func (g *gate) paused() bool {
 	g.mu.Lock()

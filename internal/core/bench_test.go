@@ -45,10 +45,21 @@ func BenchmarkBufferLatest(b *testing.B) {
 	}
 }
 
+// benchDiffusive measures the runner's per-update orchestration overhead
+// for the dominant serving-path shape: a map-style kernel that computes
+// one output element per update (conv2d, debayer, histeq's apply stage all
+// have this form). The apply body is a single store into the update's own
+// output slot, so everything else on the profile is the round loop, worker
+// dispatch, and publish machinery — and because each worker's round span
+// is contiguous and cache-line-aligned, multi-worker runs write disjoint
+// line sets (the strided division used to shear every line across all
+// workers). The output array is verified after the timed loop: a runner
+// that drops or misroutes updates fails instead of benchmarking garbage.
 func benchDiffusive(b *testing.B, workers int, batch bool) {
 	b.Helper()
-	var sink atomic.Int64
 	const total = 1 << 16
+	outArr := make([]int32, total)
+	snapshot := func(processed int) (int, error) { return processed, nil }
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -58,19 +69,17 @@ func benchDiffusive(b *testing.B, workers int, batch bool) {
 			if batch {
 				return DiffusiveBatch(c, out, total,
 					func(worker, lo, hi int) error {
-						var local int64
 						for pos := lo; pos < hi; pos++ {
-							local += int64(pos)
+							outArr[pos] = int32(pos)
 						}
-						sink.Add(local)
 						return nil
 					},
-					func(processed int) (int, error) { return processed, nil },
+					snapshot,
 					RoundConfig{Granularity: total / 8, Workers: workers}, true)
 			}
 			return DiffusiveWorkers(c, out, total,
-				func(worker, pos int) error { sink.Add(int64(pos)); return nil },
-				func(processed int) (int, error) { return processed, nil },
+				func(worker, pos int) error { outArr[pos] = int32(pos); return nil },
+				snapshot,
 				RoundConfig{Granularity: total / 8, Workers: workers})
 		}
 		if err := a.AddStage("d", stage); err != nil {
@@ -82,13 +91,77 @@ func benchDiffusive(b *testing.B, workers int, batch bool) {
 		if err := a.Wait(); err != nil {
 			b.Fatal(err)
 		}
+		if snap, ok := out.Latest(); !ok || !snap.Final || snap.Value != total {
+			b.Fatalf("final snapshot = %+v, want %d", snap, total)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(total)
+	for pos, v := range outArr {
+		if v != int32(pos) {
+			b.Fatalf("output[%d] = %d after final run; updates dropped or misrouted", pos, v)
+		}
+	}
+}
+
+// The worker sweep: before the persistent round pool and contiguous spans,
+// 4W ran *slower* than 1W (the strided division sent every worker's writes
+// through shared cache lines, and each round paid a fresh goroutine spawn
+// per worker); the sweep pins that workers now scale at serving-path sizes
+// instead of inverting.
+func BenchmarkDiffusivePerUpdate(b *testing.B)      { benchDiffusive(b, 1, false) }
+func BenchmarkDiffusivePerUpdate2W(b *testing.B)    { benchDiffusive(b, 2, false) }
+func BenchmarkDiffusivePerUpdate4W(b *testing.B)    { benchDiffusive(b, 4, false) }
+func BenchmarkDiffusivePerUpdate8W(b *testing.B)    { benchDiffusive(b, 8, false) }
+func BenchmarkDiffusiveBatchPerUpdate(b *testing.B) { benchDiffusive(b, 1, true) }
+func BenchmarkDiffusiveBatchPerUpdate4W(b *testing.B) {
+	benchDiffusive(b, 4, true)
+}
+
+// benchPartial is one worker's private accumulator, padded to a cache
+// line — the thread-privatized-partials pattern DiffusiveWorkers documents
+// (§IV-A2), merged by snapshot at round quiescence.
+type benchPartial struct {
+	sum int64
+	_   [56]byte
+}
+
+// BenchmarkDiffusiveReducePerUpdate is the reduce-shaped counterpart: each
+// update folds into its worker's partial, so every update carries a
+// load-add-store dependence on the previous one through the accumulator
+// cell. That serial chain, not the runner, is this variant's floor —
+// reduce kernels that care should accumulate locally per batch span
+// (DiffusiveBatch), which BenchmarkDiffusiveBatchPerUpdate measures.
+func BenchmarkDiffusiveReducePerUpdate(b *testing.B) {
+	const total = 1 << 16
+	const want = int64(total) * (total - 1) / 2
+	parts := make([]benchPartial, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts[0].sum = 0
+		out := NewBuffer[int64]("out", nil)
+		a := New()
+		if err := a.AddStage("d", func(c *Context) error {
+			return DiffusiveWorkers(c, out, total,
+				func(worker, pos int) error { parts[worker].sum += int64(pos); return nil },
+				func(processed int) (int64, error) { return parts[0].sum, nil },
+				RoundConfig{Granularity: total / 8})
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		if snap, ok := out.Latest(); !ok || snap.Value != want {
+			b.Fatalf("final sum = %+v, want %d", snap, want)
+		}
 	}
 	b.SetBytes(total)
 }
-
-func BenchmarkDiffusivePerUpdate(b *testing.B)      { benchDiffusive(b, 1, false) }
-func BenchmarkDiffusivePerUpdate4W(b *testing.B)    { benchDiffusive(b, 4, false) }
-func BenchmarkDiffusiveBatchPerUpdate(b *testing.B) { benchDiffusive(b, 1, true) }
 
 // benchContext returns a stage context over a running (open) gate, the
 // state every Checkpoint call sees in an unpaused pipeline.

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports, at compile time, whether the race detector is
+// active. The round pool uses it to disable its busy-wait phases: under
+// -race every atomic load is instrumented, which turns a microsecond of
+// spinning into close to a millisecond of instrumented work per park.
+const raceEnabled = 0

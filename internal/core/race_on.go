@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports, at compile time, whether the race detector is
+// active; see race_off.go.
+const raceEnabled = 1

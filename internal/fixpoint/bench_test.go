@@ -15,6 +15,7 @@ func benchVectors(n int) ([]int32, []int32) {
 func BenchmarkDot(b *testing.B) {
 	x, y := benchVectors(1 << 12)
 	b.SetBytes(1 << 12 * 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Dot(x, y); err != nil {
 			b.Fatal(err)
@@ -24,6 +25,8 @@ func BenchmarkDot(b *testing.B) {
 
 func BenchmarkBitSerialDot16(b *testing.B) {
 	x, y := benchVectors(1 << 12)
+	b.SetBytes(1 << 12 * 8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := BitSerialDot(x, y, 16, nil); err != nil {
 			b.Fatal(err)

@@ -131,6 +131,7 @@ func Dot(a, b []int32) (int64, error) {
 	if len(a) != len(b) {
 		return 0, fmt.Errorf("fixpoint: dot length mismatch %d vs %d", len(a), len(b))
 	}
+	b = b[:len(a):len(a)] // lengths proven equal: b[i] needs no bounds check below
 	var acc int64
 	for i := range a {
 		acc += int64(a[i]) * int64(b[i])
@@ -150,14 +151,24 @@ func BitSerialDot(a, b []int32, width uint, emit func(planesDone uint, partial i
 	if width < 1 || width > 32 {
 		return 0, fmt.Errorf("fixpoint: width %d out of range [1,32]", width)
 	}
+	bp := b[:len(a):len(a)] // lengths proven equal: bp[i] needs no bounds check below
 	var acc int64
 	for k := uint(0); k < width; k++ {
 		plane := width - 1 - k
+		// The plane's weight ±2^plane is constant across the inner loop, so
+		// sum raw bits and apply the weight once at the end: Σ aᵢ·bitᵢ·±2^p
+		// = (Σ aᵢ·bitᵢ)·±2^p exactly in two's-complement arithmetic. This
+		// replaces PlaneValue's per-element branches with one multiply by 0
+		// or 1 that the pipeline absorbs.
 		var sum int64
 		for i := range a {
-			sum += int64(a[i]) * int64(PlaneValue(b[i], plane, width))
+			sum += int64(a[i]) * int64((uint32(bp[i])>>plane)&1)
 		}
-		acc += sum
+		weighted := sum << plane
+		if plane == width-1 {
+			weighted = -weighted // sign plane contributes -2^(width-1)
+		}
+		acc += weighted
 		if emit != nil {
 			emit(k+1, acc)
 		}

@@ -95,10 +95,12 @@ func MatMulInto(dst, a, b *Matrix) {
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			// Both rows are b.Cols long; the reslice proves it to the
+			// compiler so the inner loop indexes both without bounds checks.
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols][:len(drow):len(drow)]
 			a64 := int64(av)
-			for c, bv := range brow {
-				drow[c] = int32(int64(drow[c]) + a64*int64(bv))
+			for c := range drow {
+				drow[c] = int32(int64(drow[c]) + a64*int64(brow[c]))
 			}
 		}
 	}

@@ -28,8 +28,16 @@ func Rows(h, workers int, fn func(y0, y1 int)) {
 	wg.Wait()
 }
 
-// Index invokes fn for every i in [0, n), striping indices cyclically
-// across workers. fn must be safe for concurrent calls on distinct indices.
+// Index invokes fn for every i in [0, n), handing each worker one
+// contiguous chunk of indices. fn must be safe for concurrent calls on
+// distinct indices.
+//
+// Chunks, not stripes: when index i addresses the i-th element (or row,
+// or column) of a shared output, cyclic striping puts adjacent indices on
+// different workers and every cache line of the output ping-pongs between
+// cores. Contiguous chunks give each worker a private span of lines; the
+// union of chunks is the same index set, so results are unchanged for any
+// fn with disjoint writes.
 func Index(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
@@ -45,7 +53,7 @@ func Index(n, workers int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < n; i += workers {
+			for i := n * w / workers; i < n*(w+1)/workers; i++ {
 				fn(i)
 			}
 		}(w)

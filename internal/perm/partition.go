@@ -2,53 +2,85 @@ package perm
 
 import "fmt"
 
-// Stripe is one worker's cyclic share of an Order: positions start,
-// start+stride, start+2*stride, ... of the parent order. Striping an order
-// cyclically is the paper's recommended division for multi-threaded
-// sampling (§IV-C1): with the tree permutation it keeps the sampled
-// resolution growing uniformly regardless of worker count, and with the
-// pseudo-random permutation it keeps each worker's sample unbiased.
+// RunLen is the length, in order positions, of the contiguous runs
+// Partition deals to workers: 16 positions of an int32-element working
+// array is exactly one 64-byte cache line. Runs start at multiples of
+// RunLen, so two workers never write into the same line of an output
+// indexed by position — the false-sharing pathology that made strided
+// (stride = workers) divisions slower with more workers.
+const RunLen = 16
+
+// Stripe is one worker's share of an Order under the block-cyclic
+// division: the order's positions are cut into contiguous cache-line-
+// aligned runs of RunLen, and run r belongs to worker r mod workers. A
+// stripe therefore visits positions
+//
+//	w*RunLen … w*RunLen+RunLen-1, (w+workers)*RunLen … , …
+//
+// in ascending order. Dealing whole runs keeps each worker's writes on
+// private cache lines (unlike the stride-1 cyclic division this package
+// used to produce), while cycling the runs keeps the paper's §IV-C1
+// property that the workers' combined progress tracks a prefix of the
+// order — now at run granularity: with every worker j elements in, the
+// union of visited positions covers the order's first
+// workers*RunLen*floor(j/RunLen) positions.
 type Stripe struct {
-	order  Order
-	start  int
-	stride int
+	order   Order
+	worker  int
+	workers int
 }
 
 // Len reports how many positions this stripe covers.
 func (s Stripe) Len() int {
-	if s.stride <= 0 || s.start >= s.order.Len() {
+	if s.workers <= 0 {
 		return 0
 	}
-	return (s.order.Len() - s.start + s.stride - 1) / s.stride
+	n := s.order.Len()
+	fullRuns := n / RunLen
+	owned := 0
+	if s.worker < fullRuns {
+		owned = (fullRuns - s.worker + s.workers - 1) / s.workers
+	}
+	count := owned * RunLen
+	if rem := n % RunLen; rem > 0 && fullRuns%s.workers == s.worker {
+		count += rem
+	}
+	return count
 }
 
 // At returns the index visited at the stripe's local position i.
-func (s Stripe) At(i int) int { return s.order.At(s.start + i*s.stride) }
+func (s Stripe) At(i int) int { return s.order.At(s.Position(i)) }
 
 // Position returns the parent-order position of the stripe's local
-// position i.
-func (s Stripe) Position(i int) int { return s.start + i*s.stride }
+// position i. Within a stripe positions are ascending: run i/RunLen of the
+// stripe is parent run worker + (i/RunLen)*workers.
+func (s Stripe) Position(i int) int {
+	return (s.worker+(i/RunLen)*s.workers)*RunLen + i%RunLen
+}
 
-// Partition divides the order cyclically among the given number of workers:
-// worker w receives positions w, w+workers, w+2*workers, ... Together the
-// stripes cover every position exactly once.
+// Partition divides the order among the given number of workers in
+// contiguous, cache-line-aligned runs of RunLen positions, dealt
+// cyclically: worker w receives runs w, w+workers, w+2*workers, …
+// Together the stripes cover every position exactly once; when workers
+// exceeds the number of runs, the surplus stripes are empty.
 func (o Order) Partition(workers int) ([]Stripe, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("perm: worker count %d must be positive", workers)
 	}
 	stripes := make([]Stripe, workers)
 	for w := range stripes {
-		stripes[w] = Stripe{order: o, start: w, stride: workers}
+		stripes[w] = Stripe{order: o, worker: w, workers: workers}
 	}
 	return stripes, nil
 }
 
-// Range returns the positions [lo, hi) of the order as a Stripe with
-// stride 1. It is useful for round-based diffusive execution where each
-// round consumes a contiguous span of the order.
+// Range returns the positions [lo, hi) of the order as a single-worker
+// Stripe (one contiguous run sequence). It is useful for round-based
+// diffusive execution where each round consumes a contiguous span of the
+// order.
 func (o Order) Range(lo, hi int) (Stripe, error) {
 	if lo < 0 || hi < lo || hi > o.Len() {
 		return Stripe{}, fmt.Errorf("perm: range [%d,%d) out of bounds for order of length %d", lo, hi, o.Len())
 	}
-	return Stripe{order: Order{idx: o.idx[lo:hi]}, start: 0, stride: 1}, nil
+	return Stripe{order: Order{idx: o.idx[lo:hi]}, worker: 0, workers: 1}, nil
 }

@@ -1,0 +1,98 @@
+package perm
+
+import (
+	"sync"
+	"testing"
+)
+
+// The partition benchmarks demonstrate the cache behavior that motivated
+// moving Partition from cyclic stripes to contiguous runs: four workers
+// writing their share of a shared output array. Under the cyclic division
+// adjacent positions belong to different workers, so every cache line of
+// the output is shared by all of them and each store invalidates the
+// others' copies; contiguous runs give each worker a private span of lines.
+// BENCH_kernels.json records the measured gap.
+
+const partitionBenchN = 1 << 16
+
+type benchShare struct{ start, end, stride int }
+
+func benchPartitionWrite(b *testing.B, shares []benchShare) {
+	b.Helper()
+	o, err := Sequential(partitionBenchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int32, partitionBenchN)
+	b.SetBytes(partitionBenchN * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(len(shares))
+		for _, sh := range shares {
+			go func(sh benchShare) {
+				defer wg.Done()
+				for p := sh.start; p < sh.end; p += sh.stride {
+					out[o.At(p)]++
+				}
+			}(sh)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkPartitionWriteStrided is the pre-rewrite cyclic division: worker
+// w visits positions w, w+4, w+8, … so neighboring writes ping-pong cache
+// lines between cores.
+func BenchmarkPartitionWriteStrided(b *testing.B) {
+	benchPartitionWrite(b, []benchShare{
+		{0, partitionBenchN, 4},
+		{1, partitionBenchN, 4},
+		{2, partitionBenchN, 4},
+		{3, partitionBenchN, 4},
+	})
+}
+
+// BenchmarkPartitionWriteContiguous hands each worker one contiguous
+// quarter, the division Partition now produces.
+func BenchmarkPartitionWriteContiguous(b *testing.B) {
+	q := partitionBenchN / 4
+	benchPartitionWrite(b, []benchShare{
+		{0 * q, 1 * q, 1},
+		{1 * q, 2 * q, 1},
+		{2 * q, 3 * q, 1},
+		{3 * q, 4 * q, 1},
+	})
+}
+
+// BenchmarkPartitionStripes runs the same write workload through whatever
+// division Partition currently produces, one goroutine per stripe.
+func BenchmarkPartitionStripes(b *testing.B) {
+	o, err := Sequential(partitionBenchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stripes, err := o.Partition(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int32, partitionBenchN)
+	b.SetBytes(partitionBenchN * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(len(stripes))
+		for _, s := range stripes {
+			go func(s Stripe) {
+				defer wg.Done()
+				n := s.Len()
+				for j := 0; j < n; j++ {
+					out[s.At(j)]++
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+}

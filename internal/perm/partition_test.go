@@ -43,12 +43,13 @@ func TestPartitionRejectsNonPositive(t *testing.T) {
 	}
 }
 
-// TestPartitionCyclicEarlyCoverage verifies the paper's motivation for
-// cyclic distribution (§IV-C1): with W workers each having consumed j
-// elements, the union equals the first W*j positions of the order, so the
-// tree order's low-resolution-first property is preserved.
-func TestPartitionCyclicEarlyCoverage(t *testing.T) {
-	o, err := Tree2D(16, 16)
+// TestPartitionEarlyCoverage verifies the paper's §IV-C1 motivation for
+// cyclic distribution survives the move to run dealing: with W workers
+// each having consumed j elements, the union covers the first
+// W*RunLen*floor(j/RunLen) positions of the order, so the tree order's
+// low-resolution-first property is preserved at run granularity.
+func TestPartitionEarlyCoverage(t *testing.T) {
+	o, err := Tree2D(32, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,14 +58,15 @@ func TestPartitionCyclicEarlyCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for j := 1; j <= 8; j++ {
+	for _, j := range []int{1, RunLen - 1, RunLen, RunLen + 3, 3 * RunLen, 5 * RunLen} {
 		got := make(map[int]bool)
 		for _, s := range stripes {
 			for i := 0; i < j && i < s.Len(); i++ {
 				got[s.At(i)] = true
 			}
 		}
-		for p := 0; p < workers*j && p < o.Len(); p++ {
+		covered := workers * RunLen * (j / RunLen)
+		for p := 0; p < covered && p < o.Len(); p++ {
 			if !got[o.At(p)] {
 				t.Fatalf("after %d elements/worker, order position %d (index %d) missing", j, p, o.At(p))
 			}
@@ -72,15 +74,56 @@ func TestPartitionCyclicEarlyCoverage(t *testing.T) {
 	}
 }
 
+// TestStripePosition pins the run-cyclic layout: worker w's run r is
+// parent run w + r*workers, contiguous within the run.
 func TestStripePosition(t *testing.T) {
-	o, _ := Sequential(10)
+	o, _ := Sequential(7 * RunLen)
 	stripes, _ := o.Partition(3)
 	s := stripes[1]
-	if s.Position(0) != 1 || s.Position(1) != 4 || s.Position(2) != 7 {
-		t.Errorf("stripe positions wrong: %d %d %d", s.Position(0), s.Position(1), s.Position(2))
+	if s.Position(0) != RunLen || s.Position(1) != RunLen+1 {
+		t.Errorf("run 0 starts at %d, %d; want %d, %d", s.Position(0), s.Position(1), RunLen, RunLen+1)
 	}
-	if s.Len() != 3 {
-		t.Errorf("stripe len = %d, want 3", s.Len())
+	if got := s.Position(RunLen); got != 4*RunLen {
+		t.Errorf("run 1 starts at parent position %d, want %d", got, 4*RunLen)
+	}
+	if s.Len() != 2*RunLen {
+		t.Errorf("stripe len = %d, want %d", s.Len(), 2*RunLen)
+	}
+}
+
+// TestPartitionAlignedRuns verifies the cache-alignment contract: every
+// stripe visits the order as maximal contiguous runs that start at RunLen
+// boundaries and span exactly RunLen positions, except for the order's
+// final partial run.
+func TestPartitionAlignedRuns(t *testing.T) {
+	for _, n := range []int{0, 1, RunLen, RunLen + 5, 6*RunLen - 1, 6 * RunLen, 100, 1000} {
+		o, err := Sequential(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			stripes, err := o.Partition(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, s := range stripes {
+				i := 0
+				for i < s.Len() {
+					lo := s.Position(i)
+					if lo%RunLen != 0 {
+						t.Fatalf("n=%d workers=%d worker=%d: run starts at %d, not RunLen-aligned", n, workers, w, lo)
+					}
+					runLen := 0
+					for i < s.Len() && s.Position(i) == lo+runLen {
+						runLen++
+						i++
+					}
+					if runLen != RunLen && lo+runLen != n {
+						t.Fatalf("n=%d workers=%d worker=%d: interior run [%d,%d) has length %d, want %d", n, workers, w, lo, lo+runLen, runLen, RunLen)
+					}
+				}
+			}
+		}
 	}
 }
 

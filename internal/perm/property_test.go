@@ -146,9 +146,10 @@ func TestPartitionExactCoverAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestPartitionWorkersExceedElements pins the degenerate stripes: with more
-// workers than elements, the surplus stripes must be empty rather than
-// aliasing positions of the busy ones.
+// TestPartitionWorkersExceedElements pins the degenerate stripes: with
+// more workers than runs, the surplus stripes must be empty rather than
+// aliasing positions of the busy ones. An order shorter than one run is a
+// single partial run, so exactly one worker carries all of it.
 func TestPartitionWorkersExceedElements(t *testing.T) {
 	o, err := Tree1D(3)
 	if err != nil {
@@ -160,11 +161,27 @@ func TestPartitionWorkersExceedElements(t *testing.T) {
 	}
 	for w, s := range stripes {
 		want := 0
-		if w < 3 {
-			want = 1
+		if w == 0 {
+			want = 3
 		}
 		if s.Len() != want {
 			t.Errorf("worker %d: stripe length %d, want %d", w, s.Len(), want)
+		}
+	}
+	// Several whole runs, still fewer than workers: each lands on its own
+	// worker in run order.
+	o2, err := Tree1D(2*RunLen + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes, err = o2.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLens := []int{RunLen, RunLen, 5, 0, 0, 0, 0, 0}
+	for w, s := range stripes {
+		if s.Len() != wantLens[w] {
+			t.Errorf("worker %d: stripe length %d, want %d", w, s.Len(), wantLens[w])
 		}
 	}
 }

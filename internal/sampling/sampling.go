@@ -30,18 +30,30 @@ import (
 // When cfg.Workers > 1, apply must write only to its own output element,
 // which map computations do by construction (disjoint-set union).
 func Map[T any](c *core.Context, out *core.Buffer[T], ord perm.Order, apply func(dst int) error, snapshot func(processed int) (T, error), cfg core.RoundConfig) error {
-	return core.Diffusive(c, out, ord.Len(),
-		func(pos int) error { return apply(ord.At(pos)) },
+	return MapWorkers(c, out, ord,
+		func(worker, dst int) error { return apply(dst) },
 		snapshot, cfg)
 }
 
 // MapWorkers is Map with the executing worker's index exposed to apply, for
 // map stages whose element computation reads through worker-private state
 // (for example a per-worker approximate storage array).
+//
+// It runs as a batched diffusive stage: each worker iterates its
+// contiguous span of order positions directly, so the per-element overhead
+// is one order lookup plus the apply call — not a chain of per-position
+// wrappers.
 func MapWorkers[T any](c *core.Context, out *core.Buffer[T], ord perm.Order, apply func(worker, dst int) error, snapshot func(processed int) (T, error), cfg core.RoundConfig) error {
-	return core.DiffusiveWorkers(c, out, ord.Len(),
-		func(worker, pos int) error { return apply(worker, ord.At(pos)) },
-		snapshot, cfg)
+	return core.DiffusiveBatch(c, out, ord.Len(),
+		func(worker, lo, hi int) error {
+			for pos := lo; pos < hi; pos++ {
+				if err := apply(worker, ord.At(pos)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		snapshot, cfg, true)
 }
 
 // Reduce describes an input-sampled commutative reduction over elements

@@ -11,7 +11,9 @@ import (
 // precise output.
 type Order = perm.Order
 
-// Stripe is one worker's cyclic share of an Order (§IV-C1).
+// Stripe is one worker's share of an Order under the block-cyclic
+// division (§IV-C1): contiguous cache-line-aligned runs of perm.RunLen
+// positions, dealt to workers in round-robin run order.
 type Stripe = perm.Stripe
 
 // LFSR is a maximal-length linear-feedback shift register, the
