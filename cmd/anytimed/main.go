@@ -21,6 +21,12 @@
 //
 // Omitting every knob returns the bit-exact precise output.
 //
+// Running behind cmd/anytimerouter, a deadline request may arrive with an
+// X-Anytime-Budget header: the remaining deadline budget after the router's
+// queue wait and the network hop. The budget caps the effective deadline
+// (it is fed into the shed controller like any deadline), so a backend
+// never runs longer than the budget it was handed.
+//
 // Operational endpoints:
 //
 //	GET /metrics               Prometheus text exposition: per-stage
@@ -31,7 +37,10 @@
 //	GET /debug/requests        flight recorder: recent request traces with
 //	                           full span timelines (?id=<X-Anytime-Trace>
 //	                           for one trace; .json for machines)
-//	GET /healthz               liveness probe
+//	GET /healthz               liveness probe (503 while draining)
+//	POST /drain                start draining: healthz goes 503 so routers
+//	                           stop sending new work; in-flight completes
+//	DELETE /drain              stop draining, rejoin the fleet
 //	GET /debug/pprof/          runtime profiler (only with -pprof)
 //
 // Every app response carries an X-Anytime-Trace header naming its request
@@ -40,17 +49,17 @@
 // successes are sampled one in -trace-sample.
 //
 // docs/OPERATIONS.md is the operator's handbook: every flag and knob, pool
-// and queue sizing, the shed-versus-reject tradeoff, and the full metrics
-// reference.
+// and queue sizing, the shed-versus-reject tradeoff, fleet topology, and
+// the full metrics reference. The server itself lives in internal/daemon so
+// the cluster harness can run real backends in-process.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strconv"
-	"time"
+
+	"anytime/internal/daemon"
 )
 
 func main() {
@@ -67,15 +76,15 @@ func main() {
 	traceSample := flag.Int("trace-sample", 16, "retain 1 in N unremarkable OK request traces (errors, rejections, deadline misses, sheds and the slowest are always retained)")
 	flag.Parse()
 
-	srv, err := newServer(*size, *workers, serverConfig{
-		pprof:       *pprofOn,
-		slots:       *slots,
-		queueLen:    *queueLen,
-		warm:        *warm,
-		overload:    *overload,
-		shedMin:     *shedMin,
-		flightSize:  *flightSize,
-		traceSample: *traceSample,
+	srv, err := daemon.New(*size, *workers, daemon.Config{
+		Pprof:       *pprofOn,
+		Slots:       *slots,
+		QueueLen:    *queueLen,
+		Warm:        *warm,
+		Overload:    *overload,
+		ShedMin:     *shedMin,
+		FlightSize:  *flightSize,
+		TraceSample: *traceSample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,58 +92,4 @@ func main() {
 	log.Printf("anytimed listening on %s (image %dx%d, %d slots, %s overload policy)",
 		*addr, *size, *size, *slots, *overload)
 	log.Fatal(http.ListenAndServe(*addr, srv))
-}
-
-// knobs are one request's stopping controls. At most one is set.
-type knobs struct {
-	// hold stops the automaton after a raw duration and takes whatever is
-	// published — possibly nothing (504).
-	hold time.Duration
-	// deadline is the serving contract: the best published snapshot when
-	// the deadline fires, never empty-handed, shed under load.
-	deadline time.Duration
-	// accept stops at the first output reaching this SNR (dB).
-	accept float64
-}
-
-// knobCap bounds the hold/deadline knobs so a stray client cannot park on
-// an execution slot indefinitely.
-const knobCap = 10 * time.Second
-
-// parseKnobs extracts the hold/accept/deadline stopping knobs from a
-// request.
-func parseKnobs(r *http.Request) (knobs, error) {
-	var k knobs
-	var err error
-	if h := r.URL.Query().Get("hold"); h != "" {
-		k.hold, err = time.ParseDuration(h)
-		if err != nil || k.hold <= 0 {
-			return knobs{}, fmt.Errorf("bad hold duration %q", h)
-		}
-	}
-	if d := r.URL.Query().Get("deadline"); d != "" {
-		k.deadline, err = time.ParseDuration(d)
-		if err != nil || k.deadline <= 0 {
-			return knobs{}, fmt.Errorf("bad deadline %q", d)
-		}
-	}
-	if a := r.URL.Query().Get("accept"); a != "" {
-		k.accept, err = strconv.ParseFloat(a, 64)
-		if err != nil || k.accept <= 0 {
-			return knobs{}, fmt.Errorf("bad accept threshold %q", a)
-		}
-	}
-	set := 0
-	for _, on := range []bool{k.hold > 0, k.deadline > 0, k.accept > 0} {
-		if on {
-			set++
-		}
-	}
-	if set > 1 {
-		return knobs{}, fmt.Errorf("hold, deadline and accept are mutually exclusive")
-	}
-	if k.hold > knobCap || k.deadline > knobCap {
-		return knobs{}, fmt.Errorf("hold and deadline capped at %v", knobCap)
-	}
-	return k, nil
 }

@@ -1,0 +1,32 @@
+package cluster
+
+import "time"
+
+// Remaining computes the deadline budget a router hands a backend: the
+// client's deadline minus the time already spent inside the router (queue
+// wait, routing) minus the expected cost of the network hop (the member's
+// observed RTT). The backend treats the result as a ceiling on the
+// deadline it grants (serve.ApplyBudget), so the whole fleet's spending on
+// one request stays inside the client's contract.
+//
+// floored reports that the fleet has already spent the entire deadline:
+// the budget clamps to zero, and the backend will deliver its first
+// published snapshot immediately — degraded to the floor, but never
+// empty-handed. Precise requests (deadline <= 0) are never budgeted:
+// precision is an explicit contract, bounded by admission control instead.
+func Remaining(deadline, spent, rtt time.Duration) (budget time.Duration, floored bool) {
+	if deadline <= 0 {
+		return 0, false
+	}
+	if spent < 0 {
+		spent = 0
+	}
+	if rtt < 0 {
+		rtt = 0
+	}
+	budget = deadline - spent - rtt
+	if budget <= 0 {
+		return 0, true
+	}
+	return budget, false
+}

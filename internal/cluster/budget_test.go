@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRemaining is the router-side half of the budget arithmetic
+// (serve.ApplyBudget tests cover the backend half): budget = deadline −
+// spent − rtt, floored at zero, with precise requests never budgeted.
+func TestRemaining(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	for _, tc := range []struct {
+		name                 string
+		deadline, spent, rtt time.Duration
+		want                 time.Duration
+		wantFloored          bool
+	}{
+		{name: "typical", deadline: ms(100), spent: ms(10), rtt: ms(5), want: ms(85)},
+		{name: "nothing spent", deadline: ms(100), want: ms(100)},
+		{name: "exactly exhausted", deadline: ms(100), spent: ms(60), rtt: ms(40), want: 0, wantFloored: true},
+		{name: "overspent", deadline: ms(100), spent: ms(150), rtt: ms(5), want: 0, wantFloored: true},
+		{name: "rtt alone exhausts", deadline: ms(10), spent: 0, rtt: ms(20), want: 0, wantFloored: true},
+		{name: "one nanosecond left", deadline: ms(100), spent: ms(100) - time.Nanosecond, want: time.Nanosecond},
+		{name: "precise request", deadline: 0, spent: ms(50), rtt: ms(5), want: 0, wantFloored: false},
+		{name: "negative deadline", deadline: -ms(1), want: 0, wantFloored: false},
+		{name: "negative spent clamped", deadline: ms(100), spent: -ms(10), want: ms(100)},
+		{name: "negative rtt clamped", deadline: ms(100), rtt: -ms(10), want: ms(100)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, floored := Remaining(tc.deadline, tc.spent, tc.rtt)
+			if got != tc.want || floored != tc.wantFloored {
+				t.Fatalf("Remaining(%v, %v, %v) = (%v, %v), want (%v, %v)",
+					tc.deadline, tc.spent, tc.rtt, got, floored, tc.want, tc.wantFloored)
+			}
+		})
+	}
+}

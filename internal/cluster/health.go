@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Checker drives the fleet's health state off the backends' own /healthz:
+// 200 means healthy, 503 with a "draining" body means the backend asked to
+// leave gracefully (its /drain endpoint was hit), and consecutive probe
+// failures mark it down. Each probe's round-trip also feeds the member's
+// RTT EWMA, so the budget arithmetic has a network estimate even before
+// the first proxied request.
+type Checker struct {
+	members  *Membership
+	client   *http.Client
+	interval time.Duration
+	timeout  time.Duration
+	maxFails int32
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewChecker builds a checker probing every member each interval, with the
+// given per-probe timeout and the number of consecutive failures that mark
+// a member down (min 1).
+func NewChecker(ms *Membership, client *http.Client, interval, timeout time.Duration, maxFails int) *Checker {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if timeout <= 0 {
+		timeout = interval
+	}
+	if maxFails < 1 {
+		maxFails = 1
+	}
+	return &Checker{
+		members:  ms,
+		client:   client,
+		interval: interval,
+		timeout:  timeout,
+		maxFails: int32(maxFails),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. One immediate sweep runs before the first
+// tick so a router doesn't route blind for a full interval after boot.
+func (c *Checker) Start() {
+	go func() {
+		defer close(c.done)
+		c.Sweep()
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Idempotent.
+func (c *Checker) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// Sweep probes every member once, concurrently, and applies transitions.
+// Exported so tests (and an operator poking a router) can force a
+// membership reassessment without waiting out the interval.
+func (c *Checker) Sweep() {
+	var wg sync.WaitGroup
+	for _, m := range c.members.Members() {
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			c.probe(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probe checks one member and applies the resulting transition.
+func (c *Checker) probe(m *Member) {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimSuffix(m.URL, "/")+"/healthz", nil)
+	if err != nil {
+		c.fail(m)
+		return
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), c.timeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.client.Do(req.WithContext(ctx))
+	if err != nil {
+		c.fail(m)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	m.ObserveRTT(time.Since(start))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		m.fails.Store(0)
+		c.members.SetState(m.Name, StateHealthy)
+	case resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body), "draining"):
+		// The backend asked to leave: graceful, not a failure.
+		m.fails.Store(0)
+		c.members.SetState(m.Name, StateDraining)
+	default:
+		c.fail(m)
+	}
+}
+
+// fail counts one failed probe, marking the member down at the threshold.
+func (c *Checker) fail(m *Member) {
+	if m.fails.Add(1) >= c.maxFails {
+		c.members.SetState(m.Name, StateDown)
+	}
+}

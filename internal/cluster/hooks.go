@@ -1,0 +1,34 @@
+package cluster
+
+import "time"
+
+// Hooks is the router tier's observer interface, following the repo's
+// nil-guard discipline (core.Hooks, serve.Hooks): a nil *Hooks or nil
+// field costs one pointer check, and internal/telemetry.RouterHooks binds
+// it to the process metrics registry. Callbacks run synchronously on the
+// routing goroutine that triggered them and must not block.
+type Hooks struct {
+	// Forward runs when a proxied request leaves for a backend, with the
+	// member name and the attempt's role (primary | hedge).
+	Forward func(member, role string)
+	// ForwardDone runs when a proxied request returns, with the observed
+	// RTT and whether the response was usable (2xx with a snapshot).
+	ForwardDone func(member, role string, rtt time.Duration, usable bool)
+	// Hedge runs when the hedge delay elapses with the primary still
+	// outstanding and a secondary request is issued.
+	Hedge func(delay time.Duration)
+	// HedgeWin runs when a race is resolved, with the winning role
+	// (primary | hedge).
+	HedgeWin func(role string)
+	// HedgeCancel runs when the losing in-flight request is cancelled.
+	HedgeCancel func(member string)
+	// BudgetFloored runs when a request's remaining budget clamps to zero
+	// (the fleet spent the whole deadline before the backend could run).
+	BudgetFloored func()
+	// MemberState runs on every health transition, with the member's new
+	// state name (healthy | draining | down).
+	MemberState func(member, state string)
+	// Deliver runs when the router writes a response, with the serving
+	// member, whether the request hedged, and the router-side elapsed time.
+	Deliver func(member string, hedged bool, elapsed time.Duration)
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ewma is a concurrent exponentially-weighted moving average of durations,
+// used for each member's observed RTT (the budget arithmetic's network
+// term). Alpha 1/4: a few samples converge it, one outlier doesn't own it.
+type ewma struct {
+	nanos atomic.Int64 // 0 = no samples yet
+}
+
+// observe folds one sample in.
+func (e *ewma) observe(d time.Duration) {
+	for {
+		old := e.nanos.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if next == 0 {
+			next = 1 // keep "no samples" distinguishable
+		}
+		if e.nanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// value returns the current average, zero when no samples have arrived.
+func (e *ewma) value() time.Duration { return time.Duration(e.nanos.Load()) }
+
+// Digest is a bounded reservoir of recent request latencies, the source of
+// the hedge delay: hedging at the observed p99 means ~1% of requests hedge
+// — enough to rescue stragglers, cheap enough to leave capacity alone.
+// A plain ring of the last N samples, not a sketch: N=512 bounds memory,
+// recency is exactly what a hedge delay should track, and the copy-sort on
+// Quantile is off the request path's critical section.
+type Digest struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   int // filled entries
+	idx int // next write position
+}
+
+// NewDigest returns a digest retaining the last size samples (min 16).
+func NewDigest(size int) *Digest {
+	if size < 16 {
+		size = 16
+	}
+	return &Digest{buf: make([]time.Duration, size)}
+}
+
+// Observe records one latency sample.
+func (d *Digest) Observe(v time.Duration) {
+	d.mu.Lock()
+	d.buf[d.idx] = v
+	d.idx = (d.idx + 1) % len(d.buf)
+	if d.n < len(d.buf) {
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
+// Len reports the number of retained samples.
+func (d *Digest) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Quantile returns the q-th quantile (0..1) of the retained samples, or 0
+// when empty. Nearest-rank on a sorted copy.
+func (d *Digest) Quantile(q float64) time.Duration {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	s := make([]time.Duration, d.n)
+	copy(s, d.buf[:d.n])
+	d.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(q * float64(len(s)))
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMAConvergesAndDistinguishesEmpty(t *testing.T) {
+	var e ewma
+	if e.value() != 0 {
+		t.Fatalf("fresh ewma = %v, want 0 (no samples)", e.value())
+	}
+	for i := 0; i < 50; i++ {
+		e.observe(10 * time.Millisecond)
+	}
+	if got := e.value(); got < 9*time.Millisecond || got > 11*time.Millisecond {
+		t.Fatalf("ewma after steady 10ms samples = %v", got)
+	}
+	// One outlier moves it by at most alpha (1/4) of the gap.
+	e.observe(100 * time.Millisecond)
+	if got := e.value(); got > 35*time.Millisecond {
+		t.Fatalf("one outlier owns the average: %v", got)
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	var e ewma
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.value(); got <= 0 || got > 2*time.Millisecond {
+		t.Fatalf("concurrent ewma = %v", got)
+	}
+}
+
+func TestDigestQuantiles(t *testing.T) {
+	d := NewDigest(128)
+	if d.Quantile(0.99) != 0 || d.Len() != 0 {
+		t.Fatal("empty digest should answer 0")
+	}
+	for i := 1; i <= 100; i++ {
+		d.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := d.Quantile(0.5); got < 48*time.Millisecond || got > 53*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := d.Quantile(0.99); got < 98*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := d.Quantile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v, want min", got)
+	}
+	if got := d.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want max", got)
+	}
+}
+
+// TestDigestWindowSlides: the digest tracks the last N samples only, so a
+// latency regression ages in and a recovery ages out.
+func TestDigestWindowSlides(t *testing.T) {
+	d := NewDigest(16)
+	for i := 0; i < 64; i++ {
+		d.Observe(time.Second) // old regime
+	}
+	for i := 0; i < 16; i++ {
+		d.Observe(time.Millisecond) // recovery fills the whole window
+	}
+	if got := d.Quantile(0.99); got != time.Millisecond {
+		t.Fatalf("p99 after recovery = %v, want 1ms (old samples aged out)", got)
+	}
+	if d.Len() != 16 {
+		t.Fatalf("Len = %d, want window size", d.Len())
+	}
+}

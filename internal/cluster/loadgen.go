@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LoadConfig describes one open-loop load run against a router (or a bare
+// backend — the generator only speaks the public HTTP surface).
+type LoadConfig struct {
+	// Target is the base URL requests go to.
+	Target string
+	// Routes are the app paths to spread requests across (default /blur).
+	Routes []string
+	// Deadline is the per-request deadline knob; zero sends precise
+	// requests (no knob).
+	Deadline time.Duration
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Duration is how long arrivals keep coming.
+	Duration time.Duration
+	// Curve shapes the arrival process: "uniform" (evenly spaced),
+	// "poisson" (exponential inter-arrivals, the open-loop default), or
+	// "ramp" (rate climbs linearly from zero to twice Rate).
+	Curve string
+	// Seed makes the arrival schedule and key choice reproducible.
+	Seed int64
+	// Keys is how many distinct ?input= routing keys to spread across
+	// (default 16) — enough to exercise every ring member.
+	Keys int
+	// Client issues the requests (default http.DefaultClient).
+	Client *http.Client
+	// MaxInFlight bounds concurrent outstanding requests (default 4096).
+	// Arrivals past the bound are counted as dropped, not queued: queuing
+	// them would turn the open loop closed and hide saturation.
+	MaxInFlight int
+}
+
+// LoadReport is one run's scorecard: the delivered-quality and latency
+// distributions the anytime contract is graded on. All latencies are
+// client-observed (include network + router + backend).
+type LoadReport struct {
+	Offered  float64 `json:"offered_rps"`
+	Curve    string  `json:"curve"`
+	Deadline string  `json:"deadline"`
+
+	Sent    int `json:"sent"`
+	OK      int `json:"ok"`
+	Errors  int `json:"errors"`  // transport errors
+	NonOK   int `json:"non_ok"`  // HTTP status != 200 (empty-handed)
+	Dropped int `json:"dropped"` // client-side MaxInFlight overflow
+	Hedged  int `json:"hedged"`  // X-Anytime-Hedged: true
+	Final   int `json:"final"`   // X-Anytime-Final: true (precise delivery)
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// SNR percentiles over OK responses, in dB; final (precise) snapshots
+	// count as SNRCap dB so the percentiles stay finite in JSON.
+	SNRP50DB  float64 `json:"snr_p50_db"`
+	SNRP10DB  float64 `json:"snr_p10_db"` // the tail that matters: worst-delivered quality
+	MeanSNRDB float64 `json:"snr_mean_db"`
+}
+
+// SNRCap stands in for +Inf (a final, bit-exact snapshot) in SNR
+// aggregates: JSON has no Inf, and 200 dB is far above any approximation.
+const SNRCap = 200.0
+
+// RunLoad executes one open-loop run and aggregates the report. The
+// arrival schedule is precomputed from the seed, so two runs with the same
+// config offer identical load.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("cluster: load needs positive rate and duration")
+	}
+	if len(cfg.Routes) == 0 {
+		cfg.Routes = []string{"/blur"}
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	offsets := arrivals(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	type sample struct {
+		latency time.Duration
+		snr     float64
+		status  int
+		hedged  bool
+		final   bool
+		err     bool
+		skipped bool // dropped at MaxInFlight, never sent
+	}
+	samples := make([]sample, len(offsets))
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	var dropped int
+	start := time.Now()
+	for i, off := range offsets {
+		// Picked on the schedule goroutine so the sequence is seed-stable
+		// regardless of request interleaving.
+		route := cfg.Routes[rng.Intn(len(cfg.Routes))]
+		key := rng.Intn(cfg.Keys)
+		if d := time.Until(start.Add(off)); d > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			dropped++
+			samples[i].skipped = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, route string, key int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			url := fmt.Sprintf("%s%s?input=k%d", cfg.Target, route, key)
+			if cfg.Deadline > 0 {
+				url += "&deadline=" + cfg.Deadline.String()
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				samples[i].err = true
+				return
+			}
+			t0 := time.Now()
+			resp, err := cfg.Client.Do(req)
+			if err != nil {
+				samples[i].err = true
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			s := &samples[i]
+			s.latency = time.Since(t0)
+			s.status = resp.StatusCode
+			s.hedged = resp.Header.Get("X-Anytime-Hedged") == "true"
+			s.final = resp.Header.Get("X-Anytime-Final") == "true"
+			if v, err := strconv.ParseFloat(resp.Header.Get("X-Anytime-SNR-dB"), 64); err == nil {
+				s.snr = math.Min(v, SNRCap)
+			}
+		}(i, route, key)
+	}
+	wg.Wait()
+
+	rep := &LoadReport{
+		Offered:  cfg.Rate,
+		Curve:    curveName(cfg.Curve),
+		Deadline: cfg.Deadline.String(),
+		Sent:     len(offsets),
+		Dropped:  dropped,
+	}
+	var lats []time.Duration
+	var snrs []float64
+	var snrSum float64
+	for i := range samples {
+		s := &samples[i]
+		if s.skipped {
+			continue
+		}
+		if s.err {
+			rep.Errors++
+			continue
+		}
+		lats = append(lats, s.latency)
+		if s.status == http.StatusOK {
+			rep.OK++
+			snrs = append(snrs, s.snr)
+			snrSum += s.snr
+		} else {
+			rep.NonOK++
+		}
+		if s.hedged {
+			rep.Hedged++
+		}
+		if s.final {
+			rep.Final++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.LatencyP50Ms = ms(quantileDur(lats, 0.50))
+	rep.LatencyP90Ms = ms(quantileDur(lats, 0.90))
+	rep.LatencyP99Ms = ms(quantileDur(lats, 0.99))
+	sort.Float64s(snrs)
+	rep.SNRP50DB = quantileF(snrs, 0.50)
+	rep.SNRP10DB = quantileF(snrs, 0.10)
+	if len(snrs) > 0 {
+		rep.MeanSNRDB = snrSum / float64(len(snrs))
+	}
+	return rep, nil
+}
+
+// arrivals precomputes the request offsets for the configured curve: the
+// schedule depends only on (rate, duration, curve, seed), never on how the
+// server responds — that is what makes the loop open.
+func arrivals(cfg LoadConfig) []time.Duration {
+	n := int(cfg.Rate * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	out := make([]time.Duration, 0, n)
+	switch curveName(cfg.Curve) {
+	case "uniform":
+		for i := 0; i < n; i++ {
+			out = append(out, time.Duration(float64(i)/cfg.Rate*float64(time.Second)))
+		}
+	case "ramp":
+		// Rate climbs linearly from 0 to 2*Rate over Duration; total count
+		// stays Rate*Duration. Cumulative arrivals R*t^2/D invert to
+		// t_i = sqrt(i*D/R).
+		d := cfg.Duration.Seconds()
+		for i := 0; i < n; i++ {
+			t := math.Sqrt(float64(i) * d / cfg.Rate)
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	default: // poisson
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		t := 0.0
+		for i := 0; i < n; i++ {
+			t += rng.ExpFloat64() / cfg.Rate
+			out = append(out, time.Duration(t*float64(time.Second)))
+		}
+	}
+	return out
+}
+
+func curveName(c string) string {
+	switch c {
+	case "uniform", "ramp":
+		return c
+	default:
+		return "poisson"
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// quantileDur is nearest-rank on an already-sorted slice, 0 when empty.
+func quantileDur(s []time.Duration, q float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// quantileF is nearest-rank on an already-sorted slice, 0 when empty.
+func quantileF(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

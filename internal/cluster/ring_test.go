@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("backend-%d:8080", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = RingKey("/blur", fmt.Sprintf("input-%d", i))
+	}
+	return out
+}
+
+// TestRingDeterministic: two rings built from the same members agree on
+// every key — the property that lets router replicas route identically
+// without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(members(5), 64)
+	b := NewRing(members(5), 64)
+	for _, k := range keys(1000) {
+		am, bm := a.Lookup(k, 2), b.Lookup(k, 2)
+		if len(am) != 2 || len(bm) != 2 || am[0] != bm[0] || am[1] != bm[1] {
+			t.Fatalf("rings disagree on %q: %v vs %v", k, am, bm)
+		}
+	}
+}
+
+// TestRingLookupDistinct: the n members returned for a key are distinct —
+// the hedge target is never the primary again.
+func TestRingLookupDistinct(t *testing.T) {
+	r := NewRing(members(3), 64)
+	for _, k := range keys(500) {
+		got := r.Lookup(k, 2)
+		if len(got) != 2 || got[0] == got[1] {
+			t.Fatalf("Lookup(%q, 2) = %v, want two distinct members", k, got)
+		}
+	}
+	if got := r.Lookup("k", 5); len(got) != 3 {
+		t.Fatalf("Lookup capped at fleet size: got %d members, want 3", len(got))
+	}
+}
+
+// TestRingBalance: with 64 vnodes, no member of a small fleet owns a
+// pathological share of keys. The same-host-adjacent-ports fleet is a
+// regression case: raw FNV-1a (no finalizer) makes such members' vnode
+// sets affine translates of each other — one member owned >80% of the
+// ring until hash64 gained its avalanche mixer.
+func TestRingBalance(t *testing.T) {
+	for name, fleet := range map[string][]string{
+		"distinct hosts": members(4),
+		"same host, adjacent ports": {
+			"127.0.0.1:40001", "127.0.0.1:40002", "127.0.0.1:40003", "127.0.0.1:40004",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			r := NewRing(fleet, 64)
+			counts := map[string]int{}
+			const n = 8000
+			for _, k := range keys(n) {
+				counts[r.Lookup(k, 1)[0]]++
+			}
+			for m, c := range counts {
+				share := float64(c) / float64(n)
+				if share < 0.10 || share > 0.45 {
+					t.Errorf("member %s owns %.1f%% of keys (counts %v)", m, share*100, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovement: removing one member only moves that member's
+// keys — everyone else's warm pools keep their traffic.
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing(members(5), 64)
+	smaller := NewRing(members(5)[:4], 64) // backend-4 removed
+	moved, kept := 0, 0
+	for _, k := range keys(4000) {
+		before := full.Lookup(k, 1)[0]
+		after := smaller.Lookup(k, 1)[0]
+		if before == "backend-4:8080" {
+			continue // its keys must move somewhere
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved between surviving members (kept %d); consistent hashing should move none", moved, kept)
+	}
+}
+
+// TestRingEmpty: an empty ring answers nil, not a panic — the router turns
+// that into 503.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Lookup("k", 2); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}

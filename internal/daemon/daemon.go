@@ -1,4 +1,15 @@
-package main
+// Package daemon is the anytimed server: the deadline-aware anytime
+// serving runtime (internal/serve) wired to HTTP, with warm per-route
+// pools, FIFO admission, load shedding, telemetry, request tracing, and —
+// for fleet deployments behind cmd/anytimerouter — deadline-budget
+// ingestion (serve.BudgetHeader) and a drain lifecycle (/drain flips
+// /healthz to 503 so routers stop sending new work while in-flight
+// requests finish against still-warm pools).
+//
+// cmd/anytimed is the thin binary wrapper; the package boundary exists so
+// the cluster harness (internal/cluster) can spin real backends on
+// httptest servers and test the fleet contract end-to-end in-process.
+package daemon
 
 import (
 	"bytes"
@@ -7,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"anytime/internal/apps/conv2d"
@@ -20,10 +32,10 @@ import (
 	"anytime/internal/telemetry"
 )
 
-// server holds the prepared inputs, precise references, and the serving
+// Server holds the prepared inputs, precise references, and the serving
 // runtime — per-route warm pools, the FIFO admission queue, and the load
 // controller — so request handling only pays for the automaton run itself.
-type server struct {
+type Server struct {
 	mux     *http.ServeMux
 	workers int
 
@@ -51,6 +63,13 @@ type server struct {
 	recorder *reqtrace.Recorder
 	started  time.Time
 
+	// draining, when set, turns /healthz into a 503 so a routing tier's
+	// health checks stop sending new work here; requests that still arrive
+	// are served normally (the anytime contract holds to the last request)
+	// but carry X-Anytime-Draining so the caller can tell. Flipped by
+	// POST/DELETE /drain.
+	draining atomic.Bool
+
 	grayIn  *pix.Image
 	rgbIn   *pix.Image
 	blurRef *pix.Image
@@ -62,52 +81,52 @@ type server struct {
 	kmPool   *serve.Pool[*pix.Image]
 }
 
-// serverConfig carries the operational knobs from main. Zero values take
+// Config carries the operational knobs from main. Zero values take
 // the documented defaults; queueLen -1 means "no waiting room" (reject as
 // soon as every slot is busy).
-type serverConfig struct {
-	pprof       bool
-	slots       int     // concurrent automata (0 = 8)
-	queueLen    int     // bounded waiting room (0 = 32, -1 = none)
-	warm        int     // automata prebuilt per route pool (0 = 1)
-	overload    string  // "shed" or "reject" ("" = shed)
-	shedMin     float64 // floor of the shed factor (0 = 0.25)
-	flightSize  int     // completed traces retained for /debug/requests (0 = 256)
-	traceSample int     // retain 1 in N unremarkable OK traces (0 = 16)
+type Config struct {
+	Pprof       bool
+	Slots       int     // concurrent automata (0 = 8)
+	QueueLen    int     // bounded waiting room (0 = 32, -1 = none)
+	Warm        int     // automata prebuilt per route pool (0 = 1)
+	Overload    string  // "shed" or "reject" ("" = shed)
+	ShedMin     float64 // floor of the shed factor (0 = 0.25)
+	FlightSize  int     // completed traces retained for /debug/requests (0 = 256)
+	TraceSample int     // retain 1 in N unremarkable OK traces (0 = 16)
 }
 
-func (c *serverConfig) normalize() error {
-	if c.slots == 0 {
-		c.slots = 8
+func (c *Config) normalize() error {
+	if c.Slots == 0 {
+		c.Slots = 8
 	}
-	switch c.queueLen {
+	switch c.QueueLen {
 	case 0:
-		c.queueLen = 32
+		c.QueueLen = 32
 	case -1:
-		c.queueLen = 0
+		c.QueueLen = 0
 	}
-	if c.warm == 0 {
-		c.warm = 1
+	if c.Warm == 0 {
+		c.Warm = 1
 	}
-	if c.overload == "" {
-		c.overload = "shed"
+	if c.Overload == "" {
+		c.Overload = "shed"
 	}
-	if c.overload != "shed" && c.overload != "reject" {
-		return fmt.Errorf("overload policy %q (want shed or reject)", c.overload)
+	if c.Overload != "shed" && c.Overload != "reject" {
+		return fmt.Errorf("overload policy %q (want shed or reject)", c.Overload)
 	}
-	if c.shedMin == 0 {
-		c.shedMin = 0.25
+	if c.ShedMin == 0 {
+		c.ShedMin = 0.25
 	}
-	if c.flightSize == 0 {
-		c.flightSize = 256
+	if c.FlightSize == 0 {
+		c.FlightSize = 256
 	}
-	if c.traceSample == 0 {
-		c.traceSample = 16
+	if c.TraceSample == 0 {
+		c.TraceSample = 16
 	}
 	return nil
 }
 
-func newServer(size, workers int, cfg serverConfig) (*server, error) {
+func New(size, workers int, cfg Config) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -121,19 +140,19 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	}
 	reg := telemetry.NewRegistry()
 	serveHooks := telemetry.ServeHooks(reg)
-	queue, err := serve.NewQueue(cfg.slots, cfg.queueLen, serveHooks)
+	queue, err := serve.NewQueue(cfg.Slots, cfg.QueueLen, serveHooks)
 	if err != nil {
 		return nil, err
 	}
 	recorder, err := reqtrace.NewRecorder(reqtrace.RecorderConfig{
-		Size:        cfg.flightSize,
-		SampleEvery: cfg.traceSample,
+		Size:        cfg.FlightSize,
+		SampleEvery: cfg.TraceSample,
 		Hooks:       telemetry.ReqtraceHooks(reg),
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &server{
+	s := &Server{
 		mux:     http.NewServeMux(),
 		workers: workers,
 		queue:   queue,
@@ -141,12 +160,12 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 		// when the room is full; with no waiting room the depth is always
 		// zero and the controller never fires.
 		ctrl: serve.Controller{
-			ShedStart: max(1, cfg.queueLen/4),
-			ShedFull:  max(2, cfg.queueLen),
-			MinFactor: cfg.shedMin,
+			ShedStart: max(1, cfg.QueueLen/4),
+			ShedFull:  max(2, cfg.QueueLen),
+			MinFactor: cfg.ShedMin,
 			H:         serveHooks,
 		},
-		shed:       cfg.overload == "shed",
+		shed:       cfg.Overload == "shed",
 		reg:        reg,
 		hooks:      telemetry.PipelineHooks(reg),
 		serveHooks: serveHooks,
@@ -199,7 +218,7 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 	s.handle("GET /equalize", s.handleApp(s.eqPool, s.eqRef))
 	s.handle("GET /cluster", s.handleApp(s.kmPool, s.kmRef))
 	s.registerStreams()
-	s.registerOps(cfg.pprof)
+	s.registerOps(cfg.Pprof)
 	s.registerDebugRequests()
 	s.handle("GET /", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -235,8 +254,8 @@ func newServer(size, workers int, cfg serverConfig) (*server, error) {
 // permanent, and report into whichever request's trace is bound to the slot
 // at the moment they fire (no trace bound = one atomic load, nothing
 // recorded).
-func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Automaton, *core.Buffer[*pix.Image], error)) (*serve.Pool[*pix.Image], error) {
-	p, err := serve.NewPool(name, cfg.slots, func() (serve.Entry[*pix.Image], error) {
+func (s *Server) newPool(name string, cfg Config, build func() (*core.Automaton, *core.Buffer[*pix.Image], error)) (*serve.Pool[*pix.Image], error) {
+	p, err := serve.NewPool(name, cfg.Slots, func() (serve.Entry[*pix.Image], error) {
 		a, out, err := build()
 		if err != nil {
 			return serve.Entry[*pix.Image]{}, err
@@ -253,20 +272,20 @@ func (s *server) newPool(name string, cfg serverConfig, build func() (*core.Auto
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Warm(cfg.warm); err != nil {
+	if err := p.Warm(cfg.Warm); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // handleApp builds the common anytime-over-HTTP flow around a route's warm
 // pool: admission, checkout, knob dispatch, delivery, check-in. Every
 // request gets a reqtrace.Trace (its ID is echoed in X-Anytime-Trace);
 // completed traces go to the flight recorder, which always keeps the
 // interesting ones — see /debug/requests.
-func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.HandlerFunc {
+func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := reqtrace.New(r.Context(), pool.Name())
 		r = r.WithContext(ctx)
@@ -319,6 +338,7 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 		var snap core.Snapshot[*pix.Image]
 		deadlineFired := false
 		interrupted := false
+		budgeted := false
 		effective := k.deadline
 		switch {
 		case k.accept > 0:
@@ -332,8 +352,18 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			}
 			snap, interrupted = res.Snapshot, res.Interrupted
 		case k.deadline > 0:
+			// A router-propagated budget caps the deadline before local
+			// shedding: the fleet already spent part of this request's time
+			// upstream (queue wait, network), and the backend must not run
+			// longer than the budget it was handed.
+			var base time.Duration
+			base, budgeted = serve.ApplyBudget(k.deadline, k.budget, k.budgetSet)
+			if budgeted {
+				tr.Budget(base, k.budget <= 0)
+			}
+			effective = base
 			if s.shed {
-				effective = s.ctrl.Scale(ctx, k.deadline, s.queue.Depth())
+				effective = s.ctrl.Scale(ctx, base, s.queue.Depth())
 			}
 			res, err := serve.Run(ctx, entry, effective, s.serveHooks)
 			if err != nil {
@@ -403,6 +433,15 @@ func (s *server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			w.Header().Set("X-Anytime-Deadline", k.deadline.String())
 			w.Header().Set("X-Anytime-Effective-Deadline", effective.String())
 			w.Header().Set("X-Anytime-Deadline-Fired", fmt.Sprint(deadlineFired))
+			// Echoed only when the budget actually capped the contract: a
+			// budget looser than the deadline never participated, and
+			// echoing it would misreport what governed the request.
+			if budgeted {
+				w.Header().Set(serve.BudgetHeader, serve.FormatBudget(k.budget))
+			}
+		}
+		if s.draining.Load() {
+			w.Header().Set("X-Anytime-Draining", "true")
 		}
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return
@@ -436,7 +475,7 @@ func httpRunError(w http.ResponseWriter, err error) {
 // recordDelivered records the delivered-accuracy metric: approximate
 // deliveries observe their SNR (in millidecibels — the registry is
 // integer-valued), precise ones only count (their SNR is +Inf).
-func (s *server) recordDelivered(db float64, final bool) {
+func (s *Server) recordDelivered(db float64, final bool) {
 	if final {
 		return
 	}
@@ -449,7 +488,7 @@ func (s *server) recordDelivered(db float64, final bool) {
 // admit takes an execution slot through the FIFO queue, giving up when the
 // client goes away or the waiting room is full. The slotsInUse gauge
 // mirrors queue occupancy so the bound is observable at /metrics.
-func (s *server) admit(r *http.Request) (release func(), ok bool) {
+func (s *Server) admit(r *http.Request) (release func(), ok bool) {
 	if err := s.queue.Acquire(r.Context()); err != nil {
 		s.reg.Counter(metricSlotsRejected, nil).Inc()
 		return nil, false

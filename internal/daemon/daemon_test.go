@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -12,16 +12,16 @@ import (
 	"anytime/internal/pix"
 )
 
-func testServer(t *testing.T) *server {
+func testServer(t *testing.T) *Server {
 	t.Helper()
-	s, err := newServer(64, 2, serverConfig{})
+	s, err := New(64, 2, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return s
 }
 
-func get(t *testing.T, s *server, path string) *httptest.ResponseRecorder {
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodGet, path, nil)
 	rec := httptest.NewRecorder()
@@ -161,7 +161,7 @@ func TestKnobValidation(t *testing.T) {
 func TestDeadlineContract(t *testing.T) {
 	// A larger image than the other tests so a microsecond deadline
 	// reliably interrupts before the precise output.
-	s, err := newServer(256, 2, serverConfig{})
+	s, err := New(256, 2, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestPooledReuseStaysPreciseAcrossRequests(t *testing.T) {
 // waiting room, and the slot held, the next request is turned away with
 // 503 immediately.
 func TestQueueSaturationRejects(t *testing.T) {
-	s, err := newServer(64, 2, serverConfig{slots: 1, queueLen: -1})
+	s, err := New(64, 2, Config{Slots: 1, QueueLen: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestQueueSaturationRejects(t *testing.T) {
 
 // TestOverloadPolicyValidation rejects an unknown -overload value.
 func TestOverloadPolicyValidation(t *testing.T) {
-	if _, err := newServer(64, 2, serverConfig{overload: "panic"}); err == nil {
+	if _, err := New(64, 2, Config{Overload: "panic"}); err == nil {
 		t.Fatal("bad overload policy accepted")
 	}
 }

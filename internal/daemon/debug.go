@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"encoding/json"
@@ -20,7 +20,7 @@ import (
 // why?" is one copy-paste away from its full span timeline — if the trace
 // was interesting enough to keep (errors, rejections, deadline misses, shed
 // requests, and the slowest always are; unremarkable successes are sampled).
-func (s *server) registerDebugRequests() {
+func (s *Server) registerDebugRequests() {
 	s.mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if id := r.URL.Query().Get("id"); id != "" {

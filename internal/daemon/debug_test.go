@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"context"
@@ -32,7 +32,7 @@ type requestsJSON struct {
 	} `json:"traces"`
 }
 
-func debugRequestsJSON(t *testing.T, s *server) requestsJSON {
+func debugRequestsJSON(t *testing.T, s *Server) requestsJSON {
 	t.Helper()
 	rec := get(t, s, "/debug/requests.json")
 	if rec.Code != http.StatusOK {
@@ -74,7 +74,7 @@ func TestTraceHeaderEchoed(t *testing.T) {
 func TestDebugRequestsListAndDetail(t *testing.T) {
 	// 256 px so a microsecond deadline reliably interrupts: deadline misses
 	// bypass sampling, making retention deterministic.
-	s, err := newServer(256, 2, serverConfig{})
+	s, err := New(256, 2, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +125,8 @@ func TestFlightRecorderSaturationRetention(t *testing.T) {
 	// Sampling is effectively off so retained successes can only be
 	// slow-ranked.
 	const room = 4
-	s, err := newServer(64, 2, serverConfig{
-		slots: 1, queueLen: room, flightSize: 64, traceSample: 1 << 20,
+	s, err := New(64, 2, Config{
+		Slots: 1, QueueLen: room, FlightSize: 64, TraceSample: 1 << 20,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"fmt"
@@ -24,7 +24,7 @@ import (
 // few long-lived stream watchers cannot starve the request path's warm
 // instances. They do share the admission queue — a stream occupies an
 // execution slot like any request.
-func (s *server) registerStreams() {
+func (s *Server) registerStreams() {
 	s.handle("GET /blur/stream", s.handleStream(func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error) {
 		run, err := conv2d.New(s.grayIn, conv2d.Config{Workers: s.workers})
 		if err != nil {
@@ -47,7 +47,7 @@ func (s *server) registerStreams() {
 //
 // The stream ends at the final (precise) version; closing the request
 // stops the automaton.
-func (s *server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error)) http.HandlerFunc {
+func (s *Server) handleStream(build func() (*core.Automaton, *core.Buffer[*pix.Image], *pix.Image, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		flusher, ok := w.(http.Flusher)
 		if !ok {

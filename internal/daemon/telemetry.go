@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"expvar"
@@ -41,7 +41,7 @@ const (
 // request count by route and status, a latency histogram by route, and an
 // in-flight gauge. The route label is the mux pattern's path (bounded
 // cardinality), never the raw request path.
-func (s *server) handle(pattern string, h http.HandlerFunc) {
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	route := pattern
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
 		route = pattern[i+1:]
@@ -101,13 +101,33 @@ func (w *statusWriter) status() int {
 // expvar, a liveness probe, and (behind the -pprof flag) the runtime
 // profiler. These bypass the request middleware so scrapes don't count as
 // traffic.
-func (s *server) registerOps(enablePprof bool) {
+func (s *Server) registerOps(enablePprof bool) {
 	s.mux.Handle("GET /metrics", s.metricsHandler())
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	publishExpvarRegistry(s.reg)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
+	})
+	// The drain lifecycle: POST /drain marks the server draining (healthz
+	// goes 503, so a router's health checker stops routing new work here
+	// while in-flight and straggler requests still complete against warm
+	// pools); DELETE /drain rejoins the fleet. Idempotent in both
+	// directions — the response reports the state after the call.
+	s.mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		s.draining.Store(true)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "draining")
+	})
+	s.mux.HandleFunc("DELETE /drain", func(w http.ResponseWriter, r *http.Request) {
+		s.draining.Store(false)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "serving")
 	})
 	if enablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -123,7 +143,7 @@ func (s *server) registerOps(enablePprof bool) {
 // labels carry the module version and Go toolchain) and
 // anytimed_uptime_seconds, refreshed at scrape time so it is current
 // without a background ticker.
-func (s *server) metricsHandler() http.Handler {
+func (s *Server) metricsHandler() http.Handler {
 	s.reg.Gauge(metricBuildInfo, telemetry.Labels{
 		"version":   buildVersion(),
 		"goversion": runtime.Version(),

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"context"
@@ -103,7 +103,7 @@ func TestPprofGatedByFlag(t *testing.T) {
 	if rec := get(t, testServer(t), "/debug/pprof/cmdline"); rec.Code != http.StatusNotFound {
 		t.Errorf("pprof exposed without the flag: %d", rec.Code)
 	}
-	s, err := newServer(64, 2, serverConfig{pprof: true})
+	s, err := New(64, 2, Config{Pprof: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestAdmitRejectsWhenSaturatedAndClientGone(t *testing.T) {
 // each family is declared exactly once, and the process-identity series
 // (anytimed_build_info, anytimed_uptime_seconds) are present. A scrape that
 // drifts from the grammar is silently dropped by real collectors, so this is
-// tested at the full-server level, with every subsystem's families live.
+// tested at the full-Server level, with every subsystem's families live.
 func TestMetricsScrapeIsValidExposition(t *testing.T) {
 	s := testServer(t)
 	// Touch every subsystem: pipeline + pools (app request), the deadline

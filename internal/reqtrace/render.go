@@ -183,6 +183,22 @@ func describe(e Event) string {
 		return s
 	case KindError:
 		return "error: " + e.Note
+	case KindRoute:
+		return fmt.Sprintf("route.pick member=%s key=%s rank=%d", e.Name, e.Note, e.N)
+	case KindBudget:
+		if e.Flag {
+			return fmt.Sprintf("budget granted=%v (floored: best-effort)", e.Dur)
+		}
+		return fmt.Sprintf("budget granted=%v", e.Dur)
+	case KindForward:
+		return fmt.Sprintf("forward member=%s role=%s", e.Name, e.Note)
+	case KindForwardDone:
+		return fmt.Sprintf("forward.done member=%s role=%s rtt=%v usable=%v",
+			e.Name, e.Note, e.Dur.Round(time.Microsecond), e.Flag)
+	case KindHedgeFire:
+		return fmt.Sprintf("hedge.fire after=%v", e.Dur)
+	case KindHedgeCancel:
+		return fmt.Sprintf("hedge.cancel member=%s role=%s", e.Name, e.Note)
 	default:
 		return e.Kind.String()
 	}

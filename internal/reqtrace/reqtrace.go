@@ -83,6 +83,28 @@ const (
 	KindDeliver
 	// KindError: the request failed. Note is the error text.
 	KindError
+	// KindRoute: the router picked a backend off the consistent-hash ring.
+	// Name is the member, Note the ring key (app|digest), N the attempt
+	// rank on the ring (0 = primary owner).
+	KindRoute
+	// KindBudget: the router computed the request's remaining deadline
+	// budget. Dur is the budget granted downstream, Flag reports that the
+	// budget floored at zero (the request is delivered best-effort).
+	KindBudget
+	// KindForward: a proxied request left for a backend. Name is the
+	// member, Note the role (primary | hedge).
+	KindForward
+	// KindForwardDone: a proxied request returned. Name is the member,
+	// Note the role, Dur the observed RTT, Flag whether the response was
+	// usable (2xx with a snapshot).
+	KindForwardDone
+	// KindHedgeFire: the hedge delay elapsed with the primary still
+	// outstanding; a secondary request was issued. Dur is the delay that
+	// fired.
+	KindHedgeFire
+	// KindHedgeCancel: the race was decided and the losing in-flight
+	// request was cancelled. Name is the cancelled member, Note its role.
+	KindHedgeCancel
 )
 
 var kindNames = [...]string{
@@ -99,6 +121,12 @@ var kindNames = [...]string{
 	KindDeadline:    "deadline",
 	KindDeliver:     "deliver",
 	KindError:       "error",
+	KindRoute:       "route.pick",
+	KindBudget:      "budget",
+	KindForward:     "forward",
+	KindForwardDone: "forward.done",
+	KindHedgeFire:   "hedge.fire",
+	KindHedgeCancel: "hedge.cancel",
 }
 
 // String returns the kind's stable wire name (also used in JSON).
@@ -378,6 +406,43 @@ func (t *Trace) Deliver(version uint64, final, interrupted bool, snrDB float64, 
 
 // Error records a request failure.
 func (t *Trace) Error(note string) { t.Add(Event{Kind: KindError, Note: note}) }
+
+// Router-tier helpers: the cross-node spans cmd/anytimerouter records so a
+// single request's timeline spans the fleet (see internal/cluster).
+
+// RoutePick records the ring pick: member will serve key as the rank-th
+// choice (0 = primary owner).
+func (t *Trace) RoutePick(member, key string, rank int) {
+	t.Add(Event{Kind: KindRoute, Name: member, Note: key, N: rank})
+}
+
+// Budget records the remaining deadline budget granted downstream; floored
+// reports the budget hit zero (best-effort delivery).
+func (t *Trace) Budget(budget time.Duration, floored bool) {
+	t.Add(Event{Kind: KindBudget, Dur: budget, Flag: floored})
+}
+
+// Forward records a proxied request leaving for member in the given role
+// (primary | hedge).
+func (t *Trace) Forward(member, role string) {
+	t.Add(Event{Kind: KindForward, Name: member, Note: role})
+}
+
+// ForwardDone records a proxied request returning after rtt; usable
+// reports whether the response carried a deliverable snapshot.
+func (t *Trace) ForwardDone(member, role string, rtt time.Duration, usable bool) {
+	t.Add(Event{Kind: KindForwardDone, Name: member, Note: role, Dur: rtt, Flag: usable})
+}
+
+// HedgeFire records the hedge delay elapsing with the primary outstanding.
+func (t *Trace) HedgeFire(delay time.Duration) {
+	t.Add(Event{Kind: KindHedgeFire, Dur: delay})
+}
+
+// HedgeCancel records the losing in-flight request being cancelled.
+func (t *Trace) HedgeCancel(member, role string) {
+	t.Add(Event{Kind: KindHedgeCancel, Name: member, Note: role})
+}
 
 // Finish seals the trace with the response status, fixing its elapsed time
 // and category; further Adds are dropped. It also ends the runtime/trace

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// BudgetHeader is the header a routing tier uses to hand a backend the
+// remaining deadline budget for a request: the client's original deadline
+// minus the time already spent upstream (router queue wait) and the
+// expected cost of reaching this backend (observed RTT). The backend
+// treats the budget as a ceiling on the deadline it grants — the
+// distributed analogue of the Controller's shed factor, except the
+// shrinking happened before the request arrived.
+//
+// The value is a Go duration string ("37ms"). A zero or negative budget
+// means the upstream has already spent the whole deadline: the backend
+// should deliver the first snapshot it can produce, immediately — the
+// anytime contract still forbids returning empty-handed.
+const BudgetHeader = "X-Anytime-Budget"
+
+// minBudget is the effective deadline granted to a request whose budget
+// reached zero upstream: just enough to enter the deadline>0 path of Run,
+// which fires immediately and delivers the first published snapshot. The
+// request still never returns empty-handed; it just does the minimum work.
+const minBudget = time.Nanosecond
+
+// ParseBudget parses a BudgetHeader value. ok reports whether a budget was
+// present at all; an unparsable value is an error (the router and backend
+// disagreeing about the wire format is a config bug worth surfacing, not
+// masking).
+func ParseBudget(header string) (budget time.Duration, ok bool, err error) {
+	if header == "" {
+		return 0, false, nil
+	}
+	d, err := time.ParseDuration(header)
+	if err != nil {
+		return 0, false, fmt.Errorf("serve: bad %s %q: %v", BudgetHeader, header, err)
+	}
+	return d, true, nil
+}
+
+// FormatBudget renders a budget for the BudgetHeader. Budgets that went
+// negative upstream are clamped to "0s" on the wire: how far past zero the
+// router was is its own diagnostic, not the backend's instruction.
+func FormatBudget(budget time.Duration) string {
+	if budget < 0 {
+		budget = 0
+	}
+	return budget.String()
+}
+
+// ApplyBudget folds a propagated budget into a request's deadline,
+// returning the deadline the backend should actually grant (before any
+// local shedding via Controller.Scale):
+//
+//   - deadline <= 0 (precise request): never budgeted. Precision is an
+//     explicit contract; a router must bound such requests with admission
+//     control, not by silently converting them to approximations.
+//   - no budget present: the deadline stands.
+//   - budget >= deadline: the deadline stands (the budget only shrinks).
+//   - 0 < budget < deadline: the budget is the new deadline.
+//   - budget <= 0: the upstream spent everything; grant the minimal
+//     positive deadline so the run delivers its first snapshot and stops.
+//
+// budgeted reports whether the budget actually tightened the deadline —
+// the signal telemetry and traces record.
+func ApplyBudget(deadline, budget time.Duration, ok bool) (effective time.Duration, budgeted bool) {
+	if deadline <= 0 || !ok || budget >= deadline {
+		return deadline, false
+	}
+	if budget <= 0 {
+		return minBudget, true
+	}
+	return budget, true
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"time"
+
+	"anytime/internal/cluster"
+)
+
+// Metric names of the router-tier binding.
+const (
+	MetricRouterForwards      = "anytime_router_forwards_total"
+	MetricRouterForwardRTT    = "anytime_router_forward_rtt_seconds"
+	MetricRouterHedges        = "anytime_router_hedges_total"
+	MetricRouterHedgeWins     = "anytime_router_hedge_wins_total"
+	MetricRouterHedgeCancels  = "anytime_router_hedge_cancels_total"
+	MetricRouterBudgetFloored = "anytime_router_budget_floored_total"
+	MetricRouterMemberStates  = "anytime_router_member_state_changes_total"
+	MetricRouterDeliveries    = "anytime_router_deliveries_total"
+	MetricRouterDeliveryTime  = "anytime_router_delivery_seconds"
+)
+
+// RouterHooks returns a cluster.Hooks recording the routing tier into reg:
+//
+//   - anytime_router_forwards_total{member,role,usable}: proxied requests
+//     by backend, attempt role (primary | hedge), and whether the response
+//     carried a deliverable snapshot. Counted at completion, so the usable
+//     label is known.
+//   - anytime_router_forward_rtt_seconds{member}: per-backend round-trip
+//     histogram — the network term of the budget arithmetic, observable.
+//   - anytime_router_hedges_total: hedge timers that fired (a secondary
+//     request was issued). The ratio to deliveries is the hedge rate; it
+//     should track 1 - HedgeQuantile (~1% at p99).
+//   - anytime_router_hedge_wins_total{role}: resolved races by winning
+//     role. A high hedge share means the hedge delay is too long or a
+//     backend is sick.
+//   - anytime_router_hedge_cancels_total{member}: in-flight losers
+//     cancelled, by backend — who keeps losing races.
+//   - anytime_router_budget_floored_total: requests whose remaining budget
+//     clamped to zero (the fleet spent the whole deadline before any
+//     backend could run) — sustained growth means deadlines are too tight
+//     for the topology.
+//   - anytime_router_member_state_changes_total{member,state}: health
+//     transitions (healthy | draining | down).
+//   - anytime_router_deliveries_total{member,hedged}: responses written,
+//     by serving backend and whether the request hedged.
+//   - anytime_router_delivery_seconds{hedged}: router-side end-to-end
+//     latency (arrival to response written).
+//
+// All instruments are safe for concurrent use; one Hooks value serves the
+// whole router.
+func RouterHooks(reg *Registry) *cluster.Hooks {
+	hedges := reg.Counter(MetricRouterHedges, nil)
+	floored := reg.Counter(MetricRouterBudgetFloored, nil)
+	return &cluster.Hooks{
+		ForwardDone: func(member, role string, rtt time.Duration, usable bool) {
+			ok := "false"
+			if usable {
+				ok = "true"
+			}
+			reg.Counter(MetricRouterForwards, Labels{"member": member, "role": role, "usable": ok}).Inc()
+			if usable {
+				reg.DurationHistogram(MetricRouterForwardRTT, Labels{"member": member}).ObserveDuration(rtt)
+			}
+		},
+		Hedge: func(delay time.Duration) {
+			hedges.Inc()
+		},
+		HedgeWin: func(role string) {
+			reg.Counter(MetricRouterHedgeWins, Labels{"role": role}).Inc()
+		},
+		HedgeCancel: func(member string) {
+			reg.Counter(MetricRouterHedgeCancels, Labels{"member": member}).Inc()
+		},
+		BudgetFloored: func() {
+			floored.Inc()
+		},
+		MemberState: func(member, state string) {
+			reg.Counter(MetricRouterMemberStates, Labels{"member": member, "state": state}).Inc()
+		},
+		Deliver: func(member string, hedged bool, elapsed time.Duration) {
+			hl := "false"
+			if hedged {
+				hl = "true"
+			}
+			reg.Counter(MetricRouterDeliveries, Labels{"member": member, "hedged": hl}).Inc()
+			reg.DurationHistogram(MetricRouterDeliveryTime, Labels{"hedged": hl}).ObserveDuration(elapsed)
+		},
+	}
+}

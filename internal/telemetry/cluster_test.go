@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRouterHooksRecord exercises every binding in RouterHooks by invoking
+// the hooks the way the router does and reading the series back.
+func TestRouterHooksRecord(t *testing.T) {
+	reg := NewRegistry()
+	h := RouterHooks(reg)
+	if h == nil || h.ForwardDone == nil || h.Hedge == nil || h.HedgeWin == nil ||
+		h.HedgeCancel == nil || h.BudgetFloored == nil || h.MemberState == nil || h.Deliver == nil {
+		t.Fatal("RouterHooks left a callback nil")
+		return // t.Fatal never returns; the return carries the guard fact
+	}
+
+	h.ForwardDone("b1:8080", "primary", 3*time.Millisecond, true)
+	h.ForwardDone("b1:8080", "primary", 4*time.Millisecond, true)
+	h.ForwardDone("b2:8080", "hedge", 0, false)
+	if got := reg.Counter(MetricRouterForwards, Labels{"member": "b1:8080", "role": "primary", "usable": "true"}).Value(); got != 2 {
+		t.Errorf("primary forwards = %d, want 2", got)
+	}
+	if got := reg.Counter(MetricRouterForwards, Labels{"member": "b2:8080", "role": "hedge", "usable": "false"}).Value(); got != 1 {
+		t.Errorf("failed hedge forwards = %d, want 1", got)
+	}
+	if got := reg.DurationHistogram(MetricRouterForwardRTT, Labels{"member": "b1:8080"}).Count(); got != 2 {
+		t.Errorf("rtt observations = %d, want 2 (usable only)", got)
+	}
+	if got := reg.DurationHistogram(MetricRouterForwardRTT, Labels{"member": "b2:8080"}).Count(); got != 0 {
+		t.Errorf("unusable forward observed into the RTT histogram")
+	}
+
+	h.Hedge(12 * time.Millisecond)
+	if got := reg.Counter(MetricRouterHedges, nil).Value(); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+	h.HedgeWin("hedge")
+	h.HedgeWin("primary")
+	if got := reg.Counter(MetricRouterHedgeWins, Labels{"role": "hedge"}).Value(); got != 1 {
+		t.Errorf("hedge wins = %d, want 1", got)
+	}
+	h.HedgeCancel("b2:8080")
+	if got := reg.Counter(MetricRouterHedgeCancels, Labels{"member": "b2:8080"}).Value(); got != 1 {
+		t.Errorf("cancels = %d, want 1", got)
+	}
+
+	h.BudgetFloored()
+	if got := reg.Counter(MetricRouterBudgetFloored, nil).Value(); got != 1 {
+		t.Errorf("budget floored = %d, want 1", got)
+	}
+	h.MemberState("b2:8080", "down")
+	if got := reg.Counter(MetricRouterMemberStates, Labels{"member": "b2:8080", "state": "down"}).Value(); got != 1 {
+		t.Errorf("state transitions = %d, want 1", got)
+	}
+
+	h.Deliver("b1:8080", true, 20*time.Millisecond)
+	h.Deliver("b1:8080", false, 5*time.Millisecond)
+	if got := reg.Counter(MetricRouterDeliveries, Labels{"member": "b1:8080", "hedged": "true"}).Value(); got != 1 {
+		t.Errorf("hedged deliveries = %d, want 1", got)
+	}
+	if got := reg.DurationHistogram(MetricRouterDeliveryTime, Labels{"hedged": "false"}).Count(); got != 1 {
+		t.Errorf("unhedged delivery observations = %d, want 1", got)
+	}
+
+	// The family must render as valid exposition alongside everything else.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`anytime_router_forwards_total{member="b1:8080",role="primary",usable="true"} 2`,
+		"anytime_router_forward_rtt_seconds_bucket",
+		`anytime_router_deliveries_total{hedged="true",member="b1:8080"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
