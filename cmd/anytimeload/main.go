@@ -168,7 +168,7 @@ func selfCluster(n, size, workers int) (string, func(), error) {
 		stop()
 		return "", nil, err
 	}
-	rt.Start()
+	rt.Start(context.Background())
 	closers = append(closers, rt.Close)
 	front := httptest.NewServer(rt)
 	closers = append(closers, front.Close)

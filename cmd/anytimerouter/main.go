@@ -42,6 +42,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
@@ -87,7 +88,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt.Start()
+	rt.Start(context.Background())
 	defer rt.Close()
 
 	mux := http.NewServeMux()

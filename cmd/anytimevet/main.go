@@ -1,7 +1,9 @@
 // Command anytimevet runs the repo's automaton-discipline analyzers
 // (internal/analysis): static proofs of the paper's §III invariants —
 // single-writer buffers, immutable snapshots, unforkable atomic state,
-// deterministic replay packages, nil-guarded telemetry hooks.
+// deterministic replay packages, nil-guarded telemetry hooks — plus the
+// serving-tier contracts grown since (context threading, goroutine
+// termination, budget monotonicity, hotpath alloc budgets).
 //
 // Two modes:
 //
@@ -12,10 +14,15 @@
 // (tests included; -tests=false excludes them) and exits 1 if any
 // diagnostic survives its //lint:ignore filter. Vet-tool mode speaks
 // cmd/go's unitchecker protocol: -V=full, -flags, and per-package .cfg
-// files with pre-built export data.
+// files with pre-built export data; interprocedural facts ride in the
+// protocol's .vetx files.
 //
 // Each analyzer can be disabled with -<name>=false, or the run restricted
 // by setting only some to true (go vet's multichecker convention).
+// -format selects the output: text (one finding per line, the problem-
+// matcher shape), json (an array document), or sarif (SARIF 2.1.0 for
+// code-scanning upload). -audit lists every //lint:ignore suppression with
+// its justification and fails on bare ones.
 package main
 
 import (
@@ -37,7 +44,7 @@ func run(args []string, stderr *os.File) int {
 	if len(args) == 1 {
 		switch {
 		case strings.HasPrefix(args[0], "-V"):
-			fmt.Println("anytimevet version v1 (anytime automaton discipline suite)")
+			fmt.Println("anytimevet version v2 (anytime automaton discipline suite)")
 			return 0
 		case args[0] == "-flags":
 			printFlagDefs()
@@ -48,17 +55,26 @@ func run(args []string, stderr *os.File) int {
 	fs := flag.NewFlagSet("anytimevet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tests    = fs.Bool("tests", true, "also analyze test files (standalone mode)")
-		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
-		_        = fs.Int("c", -1, "(ignored; accepted for cmd/go compatibility)")
-		enables  = make(map[string]*bool)
-		fixNames []string
+		tests   = fs.Bool("tests", true, "also analyze test files (standalone mode)")
+		format  = fs.String("format", "text", "output format: text, json, or sarif")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON (alias for -format=json)")
+		audit   = fs.Bool("audit", false, "list every //lint:ignore suppression and fail on bare ones")
+		_       = fs.Int("c", -1, "(ignored; accepted for cmd/go compatibility)")
+		enables = make(map[string]*bool)
 	)
 	for _, a := range analysis.All() {
 		enables[a.Name] = fs.Bool(a.Name, false, "enable only "+a.Name+" (default: all)")
-		fixNames = append(fixNames, a.Name)
 	}
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *jsonOut && *format == "text" {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "anytimevet: unknown -format %q (want text, json, or sarif)\n", *format)
 		return 1
 	}
 
@@ -88,15 +104,18 @@ func run(args []string, stderr *os.File) int {
 
 	rest := fs.Args()
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return unitcheck(rest[0], analyzers, *jsonOut, stderr)
+		return unitcheck(rest[0], analyzers, *format, stderr)
 	}
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	return standalone(rest, analyzers, *tests, *jsonOut, stderr)
+	if *audit {
+		return auditSuppressions(rest, *tests, stderr)
+	}
+	return standalone(rest, analyzers, *tests, *format, stderr)
 }
 
-func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, jsonOut bool, stderr *os.File) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, tests bool, format string, stderr *os.File) int {
 	fset := token.NewFileSet()
 	wd, err := os.Getwd()
 	if err != nil {
@@ -108,13 +127,17 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, jsonOu
 		fmt.Fprintln(stderr, "anytimevet:", err)
 		return 1
 	}
-	found := false
+	// One fact store threaded through the packages, which Load returns in
+	// dependency order: facts exported while analyzing serve are visible
+	// when daemon (which imports it) is analyzed.
+	facts := analysis.NewFactStore()
+	var all []analysis.Diagnostic
 	// The same file can be analyzed under its base package and its test
 	// variant when both are targets (the loader prevents the common case,
 	// but patterns can name both); dedupe on position+analyzer+message.
 	seen := make(map[string]bool)
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(fset, pkg, analyzers)
+		diags, err := analysis.RunPackageFacts(fset, pkg, analyzers, facts)
 		if err != nil {
 			fmt.Fprintf(stderr, "anytimevet: %s: %v\n", pkg.ID, err)
 			return 1
@@ -125,23 +148,72 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer, tests, jsonOu
 				continue
 			}
 			seen[key] = true
-			found = true
-			printDiag(stderr, fset, d, jsonOut)
+			all = append(all, d)
+			if format == "text" {
+				printDiag(stderr, fset, d)
+			}
 		}
 	}
-	if found {
+	emitDocument(fset, analyzers, all, format, wd)
+	if len(all) > 0 {
 		return 1
 	}
 	return 0
 }
 
-func printDiag(stderr *os.File, fset *token.FileSet, d analysis.Diagnostic, jsonOut bool) {
-	pos := fset.Position(d.Pos)
-	if jsonOut {
-		fmt.Printf("{\"posn\":%q,\"analyzer\":%q,\"message\":%q}\n", pos, d.Analyzer, d.Message)
-		return
+// emitDocument writes the whole-run json/sarif document to stdout; text
+// mode already streamed line by line.
+func emitDocument(fset *token.FileSet, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic, format, root string) {
+	switch format {
+	case "json":
+		os.Stdout.Write(analysis.FormatJSON(fset, diags))
+	case "sarif":
+		os.Stdout.Write(analysis.FormatSARIF(fset, analyzers, diags, root))
 	}
-	fmt.Fprintf(stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+}
+
+// auditSuppressions loads the tree and prints every lint:ignore directive
+// with its justification: the reviewed inventory CI keeps. Bare ignores
+// (no justification) fail the audit.
+func auditSuppressions(patterns []string, tests bool, stderr *os.File) int {
+	fset := token.NewFileSet()
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "anytimevet:", err)
+		return 1
+	}
+	pkgs, err := analysis.Load(fset, wd, patterns, tests)
+	if err != nil {
+		fmt.Fprintln(stderr, "anytimevet:", err)
+		return 1
+	}
+	bare := 0
+	total := 0
+	seen := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, s := range analysis.CollectSuppressions(fset, pkg.Files) {
+			if seen[s.Posn] {
+				continue
+			}
+			seen[s.Posn] = true
+			total++
+			if s.Bare() {
+				bare++
+				fmt.Printf("%s: BARE //lint:ignore %s — justification required\n", s.Posn, s.Analyzer)
+				continue
+			}
+			fmt.Printf("%s: //lint:ignore %s — %s\n", s.Posn, s.Analyzer, s.Justification)
+		}
+	}
+	fmt.Printf("anytimevet audit: %d suppression(s), %d bare\n", total, bare)
+	if bare > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printDiag(stderr *os.File, fset *token.FileSet, d analysis.Diagnostic) {
+	fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 }
 
 // printFlagDefs answers cmd/go's -flags probe: a JSON array describing the

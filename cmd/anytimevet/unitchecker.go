@@ -33,7 +33,14 @@ type vetConfig struct {
 
 // unitcheck analyzes one package under cmd/go's vet protocol. Exit codes
 // follow the vet convention: 0 clean, 1 tool failure, 2 diagnostics.
-func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, stderr *os.File) int {
+//
+// Interprocedural facts ride the protocol's vetx channel: the fact store
+// is seeded from every dependency's PackageVetx file, the analyzers run
+// (exporting facts about this package's objects), and the accumulated
+// store is serialized to VetxOutput for downstream packages. VetxOnly
+// packages (dependencies cmd/go analyzes purely for their facts) run the
+// same pipeline but report nothing.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, format string, stderr *os.File) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(stderr, "anytimevet:", err)
@@ -45,18 +52,14 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, std
 		return 1
 	}
 
-	// cmd/go requires the facts ("vetx") output to exist even though this
-	// suite exports none; write it first so every early exit below still
-	// satisfies the build cache.
+	// cmd/go requires the facts ("vetx") output to exist; write the empty
+	// form first so every early exit below still satisfies the build cache,
+	// then overwrite with the real store after analysis.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintln(stderr, "anytimevet:", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		// The package is only needed for downstream facts; nothing to do.
-		return 0
 	}
 	if cfg.Compiler != "" && cfg.Compiler != "gc" {
 		fmt.Fprintf(stderr, "anytimevet: unsupported compiler %q\n", cfg.Compiler)
@@ -81,13 +84,33 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool, std
 		return 1
 	}
 
-	diags, err := analysis.RunPackage(fset, pkg, analyzers)
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			facts.Merge(data)
+		}
+	}
+	diags, err := analysis.RunPackageFacts(fset, pkg, analyzers, facts)
 	if err != nil {
 		fmt.Fprintf(stderr, "anytimevet: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
-	for _, d := range diags {
-		printDiag(stderr, fset, d, jsonOut)
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, facts.Encode(), 0o666); err != nil {
+			fmt.Fprintln(stderr, "anytimevet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// The package was only needed for downstream facts; report nothing.
+		return 0
+	}
+	if format == "text" {
+		for _, d := range diags {
+			printDiag(stderr, fset, d)
+		}
+	} else {
+		emitDocument(fset, analyzers, diags, format, cfg.Dir)
 	}
 	if len(diags) > 0 {
 		return 2

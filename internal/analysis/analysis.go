@@ -48,6 +48,11 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver installs it; analyzers
 	// normally use Reportf.
 	Report func(Diagnostic)
+	// Facts carries interprocedural facts across packages: the driver
+	// threads one store through the packages in dependency order (or decodes
+	// it from cmd/go's .vetx files in unitchecker mode). Analyzers read
+	// facts about imported objects and export facts about their own.
+	Facts *FactStore
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -72,6 +77,10 @@ func All() []*Analyzer {
 		AtomicFieldAnalyzer,
 		DetNonDetAnalyzer,
 		HookNilAnalyzer,
+		CtxFlowAnalyzer,
+		GoroLeakAnalyzer,
+		BudgetFlowAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// budgetScopes names the packages that participate in the fleet's
+// deadline-budget protocol (PR 8): the router computes cluster.Remaining,
+// the backend parses serve.BudgetHeader and folds it in with
+// serve.ApplyBudget. The invariant the analyzer makes compile-time is the
+// one DESIGN.md states in prose: a budget may only shrink as it moves
+// through the fleet.
+var budgetScopes = []string{
+	"anytime/internal/serve",
+	"anytime/internal/cluster",
+	"anytime/internal/daemon",
+}
+
+// budgetReturnsFact marks exported functions whose results carry a budget
+// value, so a downstream package's taint picks up where this one stopped.
+const budgetReturnsFact = "budgetflow.returns"
+
+// BudgetFlowAnalyzer taint-tracks deadline budgets from their two sources —
+// cluster.Remaining (router side) and serve.ParseBudget (backend side) —
+// and convicts every flow that could hand a request more time than the
+// client granted:
+//
+//   - widening arithmetic on a budget (+, *, << or the max builtin): a
+//     budget is a ceiling; only subtraction, division, and min may touch
+//     it. Deliberate slack (the hedge race timer) gets a justified
+//     //lint:ignore;
+//   - a raw budget used as a deadline (serve.Run's deadline argument or
+//     Controller.Scale's) without laundering through serve.ApplyBudget,
+//     which alone knows the precise-request and floor rules;
+//   - a statically non-positive deadline fed to ApplyBudget/Remaining:
+//     precise requests never participate in the budget protocol, so a
+//     constant deadline <= 0 at these call sites is dead plumbing that
+//     contradicts the contract;
+//   - echoing serve.BudgetHeader on a response without a guard on
+//     ApplyBudget's budgeted result: the header is echoed only when the
+//     budget actually tightened the deadline (a budget looser than the
+//     deadline never participated). Setting the header on an *outbound*
+//     request (router → backend) is the protocol itself and stays legal.
+var BudgetFlowAnalyzer = &Analyzer{
+	Name: "budgetflow",
+	Doc: "taint-track deadline budgets: no widening arithmetic, no raw " +
+		"budget as a deadline, no budgeting precise requests, and response " +
+		"echo of X-Anytime-Budget only behind ApplyBudget's budgeted guard",
+	Run: runBudgetFlow,
+}
+
+func runBudgetFlow(pass *Pass) (interface{}, error) {
+	if !inScopes(pass.Pkg, budgetScopes) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+	facts := passFacts(pass)
+
+	isSource := func(call *ast.CallExpr) []int {
+		if calleeIs(info, call, "serve", "ParseBudget") || calleeIs(info, call, "cluster", "Remaining") {
+			return []int{0}
+		}
+		return nil
+	}
+
+	// Taint survives every arithmetic op — a widened budget is still a
+	// budget (and must still not be widened again); the widening itself is
+	// convicted separately below. Comparisons yield bools, which the tainted
+	// walk never consults.
+	st := runTaint(pass.Files, info, taintConfig{
+		rootCall: isSource,
+		binop:    func(op token.Token) bool { return true },
+	}, facts, budgetReturnsFact)
+	st.exportSummaries()
+
+	// budgetedObjs: objects bound to ApplyBudget's second result — the only
+	// guard under which a response may echo the budget header.
+	budgetedObjs := make(map[types.Object]bool)
+	for obj, crs := range st.du.callDefs {
+		for _, cr := range crs {
+			if cr.index == 1 && calleeIs(info, cr.call, "serve", "ApplyBudget") {
+				budgetedObjs[obj] = true
+			}
+		}
+	}
+
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		if f, ok := n.(*ast.File); ok {
+			return !isTestFile(pass.Fset, f.Pos())
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkWidening(pass, st, n)
+		case *ast.AssignStmt:
+			checkCompoundWidening(pass, st, n)
+		case *ast.CallExpr:
+			checkBudgetCall(pass, st, n, budgetedObjs, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// wideningOps are the binary operators that can increase a budget.
+var wideningOps = map[token.Token]bool{
+	token.ADD: true, // +
+	token.MUL: true, // *
+	token.SHL: true, // <<
+}
+
+func checkWidening(pass *Pass, st *taintState, be *ast.BinaryExpr) {
+	if !wideningOps[be.Op] {
+		return
+	}
+	if st.tainted(be.X) || st.tainted(be.Y) {
+		pass.Reportf(be.OpPos,
+			"budget widened with %q: a deadline budget is a ceiling and may only shrink on its way through the fleet (subtract, divide, or min)", be.Op)
+	}
+}
+
+// checkCompoundWidening convicts `budget += slack` and friends: compound
+// assignments whose operator widens and whose target holds a budget.
+func checkCompoundWidening(pass *Pass, st *taintState, assign *ast.AssignStmt) {
+	var op token.Token
+	switch assign.Tok {
+	case token.ADD_ASSIGN:
+		op = token.ADD
+	case token.MUL_ASSIGN:
+		op = token.MUL
+	case token.SHL_ASSIGN:
+		op = token.SHL
+	default:
+		return
+	}
+	for _, lhs := range assign.Lhs {
+		if obj := st.du.objectOf(lhs); obj != nil && st.objs[obj] {
+			pass.Reportf(assign.TokPos,
+				"budget widened with %q=: a deadline budget is a ceiling and may only shrink on its way through the fleet", op)
+			return
+		}
+	}
+}
+
+// checkBudgetCall applies the call-site rules: max over a budget, raw
+// budget as deadline, constant precise deadline fed to the protocol, and
+// the response-echo guard.
+func checkBudgetCall(pass *Pass, st *taintState, call *ast.CallExpr, budgetedObjs map[types.Object]bool, stack []ast.Node) {
+	info := pass.TypesInfo
+
+	// max(budget, ...) is widening by another name.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "max" {
+			for _, arg := range call.Args {
+				if st.tainted(arg) {
+					pass.Reportf(call.Pos(),
+						"budget passed through max(): a deadline budget is a ceiling and may only shrink (use min to combine budgets)")
+					break
+				}
+			}
+		}
+	}
+
+	// Raw budget as a deadline: serve.Run's deadline is argument 2,
+	// Controller.Scale's is argument 1. ApplyBudget's first result (the
+	// effective deadline) is deliberately not tainted — laundering through
+	// it is the only legal path from budget to deadline.
+	deadlineArg := -1
+	switch {
+	case calleeIs(info, call, "serve", "Run"):
+		deadlineArg = 2
+	case isScaleMethod(info, call):
+		deadlineArg = 1
+	}
+	if deadlineArg >= 0 && deadlineArg < len(call.Args) && st.tainted(call.Args[deadlineArg]) {
+		pass.Reportf(call.Args[deadlineArg].Pos(),
+			"raw budget used as a deadline: fold it in with serve.ApplyBudget, which alone enforces the precise-request and zero-budget floor rules")
+	}
+
+	// Precise requests never consult the budget protocol: a constant
+	// deadline <= 0 at ApplyBudget/Remaining is plumbing that contradicts
+	// the contract the callee will silently no-op on.
+	if calleeIs(info, call, "serve", "ApplyBudget") || calleeIs(info, call, "cluster", "Remaining") {
+		if len(call.Args) > 0 && isNonPositiveConst(info, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(),
+				"budget protocol invoked with a non-positive deadline: precise requests are never budgeted (bound them with admission control)")
+		}
+	}
+
+	// Response echo: Header().Set(BudgetHeader, ...) on a ResponseWriter
+	// must sit under an if on ApplyBudget's budgeted result.
+	if isBudgetHeaderSet(info, call) && isResponseHeaderSet(info, call) {
+		if !guardedByBudgeted(info, stack, budgetedObjs) {
+			pass.Reportf(call.Pos(),
+				"%s echoed unconditionally: echo only when ApplyBudget reported budgeted=true (a budget looser than the deadline never participated)", "X-Anytime-Budget")
+		}
+	}
+}
+
+// isScaleMethod reports whether call invokes a Scale method on a named
+// Controller type (the serve.Controller shape; name-based so fixtures
+// stay self-contained).
+func isScaleMethod(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeMethod(info, call)
+	if fn == nil || fn.Name() != "Scale" {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	return recv != nil && namedName(recv.Type()) == "Controller"
+}
+
+func isNonPositiveConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v <= 0
+}
+
+// isBudgetHeaderSet reports whether call is a Header.Set/Add whose key is
+// the budget header (by the serve.BudgetHeader constant or its literal).
+func isBudgetHeaderSet(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeMethod(info, call)
+	if fn == nil || (fn.Name() != "Set" && fn.Name() != "Add") || len(call.Args) < 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return constant.StringVal(tv.Value) == "X-Anytime-Budget"
+}
+
+// isResponseHeaderSet distinguishes the echo (w.Header().Set on a
+// ResponseWriter) from the downstream send (req.Header.Set on a request):
+// only the former is the guarded echo.
+func isResponseHeaderSet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	hdrCall, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return false // req.Header is a field, not a Header() call
+	}
+	hfn := calleeMethod(info, hdrCall)
+	if hfn == nil || hfn.Name() != "Header" {
+		return false
+	}
+	recv := hfn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	return strings.Contains(recv.Type().String(), "ResponseWriter")
+}
+
+// guardedByBudgeted reports whether some enclosing if statement's condition
+// reads an object bound to ApplyBudget's budgeted result.
+func guardedByBudgeted(info *types.Info, stack []ast.Node, budgetedObjs map[types.Object]bool) bool {
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && budgetedObjs[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

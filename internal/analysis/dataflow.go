@@ -1,0 +1,564 @@
+package analysis
+
+// dataflow.go is the suite's SSA-lite dataflow engine: def-use chains over
+// the go/types-resolved AST, a package-wide taint fixpoint, and an
+// exported-facts store for interprocedural reasoning. The engine is
+// deliberately flow-insensitive within a function (an object is tainted if
+// any assignment reaching it is tainted) and flow-sensitive only across
+// the call graph via per-function summaries: that is cheap enough to run
+// on every build and precise enough for the serving-tier contracts the
+// analyzers enforce — a budget is a budget on every path, and a context
+// derived from the request stays derived no matter the branch taken.
+//
+// Interprocedural flow uses the same facts idiom as x/tools: analyzing a
+// package may export facts about its objects (functions, fields); a later
+// package importing those objects consults the store. The standalone
+// driver threads one store through the packages in dependency order; the
+// unitchecker driver serializes the store into cmd/go's .vetx files.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ---- facts ----
+
+// FactStore holds facts exported about objects, keyed by a stable object
+// path (package path + receiver + name), so facts survive serialization
+// across unitchecker processes.
+type FactStore struct {
+	m map[string]map[string]string // objPath -> fact name -> payload
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[string]string)}
+}
+
+// ObjectPath renders the stable cross-package key for obj:
+// "pkg/path.Name" for package-level objects, "pkg/path.Recv.Name" for
+// methods and struct fields. Objects without a package (builtins) key by
+// bare name.
+func ObjectPath(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	var sb strings.Builder
+	if p := obj.Pkg(); p != nil {
+		sb.WriteString(p.Path())
+		sb.WriteByte('.')
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Signature().Recv(); recv != nil {
+			if n := namedName(recv.Type()); n != "" {
+				sb.WriteString(n)
+				sb.WriteByte('.')
+			}
+		}
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Field objects carry no owner pointer; position-qualify instead so
+		// two same-named fields of different structs never collide.
+		fmt.Fprintf(&sb, "field%d.", obj.Pos())
+	}
+	sb.WriteString(obj.Name())
+	return sb.String()
+}
+
+// Export records a fact about obj. Facts are write-once: re-exporting
+// overwrites the payload (analyzers export deterministic payloads, so the
+// last write is as good as the first).
+func (s *FactStore) Export(obj types.Object, fact, payload string) {
+	key := ObjectPath(obj)
+	if key == "" {
+		return
+	}
+	f := s.m[key]
+	if f == nil {
+		f = make(map[string]string)
+		s.m[key] = f
+	}
+	f[fact] = payload
+}
+
+// Get looks up a fact about obj.
+func (s *FactStore) Get(obj types.Object, fact string) (string, bool) {
+	p, ok := s.m[ObjectPath(obj)][fact]
+	return p, ok
+}
+
+// factFile is the serialized form written into cmd/go's .vetx files.
+type factFile struct {
+	Facts map[string]map[string]string `json:"facts"`
+}
+
+// Encode serializes every fact in the store (the unitchecker writes the
+// whole accumulated store; downstream packages deduplicate on merge).
+func (s *FactStore) Encode() []byte {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := factFile{Facts: make(map[string]map[string]string, len(keys))}
+	for _, k := range keys {
+		out.Facts[k] = s.m[k]
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// Merge folds serialized facts (an upstream package's vetx) into the
+// store. Unparsable data is ignored: an empty vetx file is the protocol's
+// "no facts" value.
+func (s *FactStore) Merge(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	var in factFile
+	if err := json.Unmarshal(data, &in); err != nil {
+		return
+	}
+	for key, facts := range in.Facts {
+		f := s.m[key]
+		if f == nil {
+			f = make(map[string]string, len(facts))
+			s.m[key] = f
+		}
+		for name, payload := range facts {
+			f[name] = payload
+		}
+	}
+}
+
+// ---- def-use chains ----
+
+// defUse indexes one package's assignment structure: for every variable or
+// struct-field object, the expressions assigned to it (defs) and, for
+// tuple assignments from calls, which result index feeds it.
+type defUse struct {
+	info *types.Info
+	// defs maps an object to every single-value expression assigned to it.
+	defs map[types.Object][]ast.Expr
+	// callDefs maps an object to (call, result index) pairs from
+	// multi-value assignments `a, b := f()`.
+	callDefs map[types.Object][]callResult
+	// uses maps an object to every identifier referencing it.
+	uses map[types.Object][]*ast.Ident
+}
+
+type callResult struct {
+	call  *ast.CallExpr
+	index int
+}
+
+// buildDefUse walks the files once and records every assignment edge:
+// :=/= statements, var specs with values, and range statements (which
+// assign element values whose taint is the range operand's).
+func buildDefUse(files []*ast.File, info *types.Info) *defUse {
+	du := &defUse{
+		info:     info,
+		defs:     make(map[types.Object][]ast.Expr),
+		callDefs: make(map[types.Object][]callResult),
+		uses:     make(map[types.Object][]*ast.Ident),
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil {
+					du.uses[obj] = append(du.uses[obj], n)
+				}
+			case *ast.AssignStmt:
+				du.recordAssign(n.Lhs, n.Rhs, n.Tok)
+			case *ast.ValueSpec:
+				if len(n.Values) > 0 {
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, name := range n.Names {
+						lhs[i] = name
+					}
+					du.recordAssign(lhs, n.Values, token.DEFINE)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					du.record(n.Value, n.X)
+				}
+			}
+			return true
+		})
+	}
+	return du
+}
+
+func (du *defUse) recordAssign(lhs, rhs []ast.Expr, tok token.Token) {
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			du.record(lhs[i], rhs[i])
+			// Compound assignment (x += e) keeps x's old value in play; the
+			// binop conviction logic inspects these separately.
+		}
+	case len(rhs) == 1:
+		// Tuple assignment from a call (or map/chan/type-assert comma-ok;
+		// only calls carry cross-object taint).
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			for i := range lhs {
+				if obj := du.lhsObject(lhs[i]); obj != nil {
+					du.callDefs[obj] = append(du.callDefs[obj], callResult{call, i})
+				}
+			}
+		}
+	}
+}
+
+func (du *defUse) record(lhs, rhs ast.Expr) {
+	if obj := du.lhsObject(lhs); obj != nil {
+		du.defs[obj] = append(du.defs[obj], rhs)
+	}
+}
+
+// lhsObject resolves an assignment target to the object that holds the
+// value: the variable for `x = e`, the field object for `s.f = e` (so a
+// taint written through any instance of the struct marks the field itself
+// — the package-wide approximation that lets a value parsed in one
+// function be recognized in another).
+func (du *defUse) lhsObject(lhs ast.Expr) types.Object {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := du.info.Defs[x]; obj != nil {
+			return obj
+		}
+		return du.info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := du.info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return du.info.Uses[x.Sel]
+	case *ast.StarExpr:
+		return du.lhsObject(x.X)
+	case *ast.IndexExpr:
+		return du.lhsObject(x.X)
+	}
+	return nil
+}
+
+// objectOf resolves a value expression to the object it reads, mirroring
+// lhsObject for the use side.
+func (du *defUse) objectOf(e ast.Expr) types.Object {
+	return du.lhsObject(e)
+}
+
+// ---- taint fixpoint ----
+
+// taintConfig parameterizes one taint analysis over a package.
+type taintConfig struct {
+	// rootCall classifies a call as a taint source, returning the tainted
+	// result indices (nil = not a source).
+	rootCall func(call *ast.CallExpr) []int
+	// rootObject classifies an object (parameter, field) as born tainted.
+	rootObject func(obj types.Object) bool
+	// passthrough reports the result indices of call that become tainted
+	// when the argument at argIdx is tainted (derivation functions such as
+	// context.WithTimeout). nil = taint stops at the call.
+	passthrough func(call *ast.CallExpr, argIdx int) []int
+	// binop reports whether taint survives a binary operation (e.g. budget
+	// taint survives '-' but is reported and survives '+').
+	binop func(op token.Token) bool
+}
+
+// taintState is the result of the package fixpoint: tainted objects plus
+// per-function result summaries for the facts layer.
+type taintState struct {
+	du  *defUse
+	cfg taintConfig
+	// objs holds the tainted variable/field objects.
+	objs map[types.Object]bool
+	// funcResults summarizes package functions whose results carry taint:
+	// map from function object to the set of tainted result indices.
+	funcResults map[*types.Func]map[int]bool
+	// facts resolves summaries for out-of-package callees.
+	facts    *FactStore
+	factName string
+}
+
+// runTaint computes the package-wide taint fixpoint. factName, when
+// non-empty, names the fact consulted (and exported by exportSummaries)
+// for cross-package function-result taint.
+func runTaint(files []*ast.File, info *types.Info, cfg taintConfig, facts *FactStore, factName string) *taintState {
+	st := &taintState{
+		du:          buildDefUse(files, info),
+		cfg:         cfg,
+		objs:        make(map[types.Object]bool),
+		funcResults: make(map[*types.Func]map[int]bool),
+		facts:       facts,
+		factName:    factName,
+	}
+	if cfg.rootObject != nil {
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := info.Defs[id]; obj != nil && cfg.rootObject(obj) {
+					st.objs[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	// Iterate assignments to a fixpoint: the edge set is static, so each
+	// round either grows the tainted set or terminates the loop.
+	for {
+		changed := false
+		for obj, rhss := range st.du.defs {
+			if st.objs[obj] {
+				continue
+			}
+			for _, rhs := range rhss {
+				if st.tainted(rhs) {
+					st.objs[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+		for obj, crs := range st.du.callDefs {
+			if st.objs[obj] {
+				continue
+			}
+			for _, cr := range crs {
+				if st.callResultTainted(cr.call, cr.index) {
+					st.objs[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !st.summarizeReturns(files, info) && !changed {
+			break
+		}
+	}
+	return st
+}
+
+// tainted reports whether e evaluates to a tainted value.
+func (st *taintState) tainted(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := st.du.objectOf(x); obj != nil {
+			if st.objs[obj] {
+				return true
+			}
+			if st.cfg.rootObject != nil && st.cfg.rootObject(obj) {
+				return true
+			}
+		}
+		// A selector may also read a field of a tainted struct value; field
+		// objects are tracked directly, so nothing further here.
+		return false
+	case *ast.CallExpr:
+		return st.callResultTainted(x, 0)
+	case *ast.BinaryExpr:
+		if st.cfg.binop != nil && !st.cfg.binop(x.Op) {
+			return false
+		}
+		return st.tainted(x.X) || st.tainted(x.Y)
+	case *ast.StarExpr:
+		return st.tainted(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return st.tainted(x.X)
+		}
+		return false
+	case *ast.IndexExpr:
+		return st.tainted(x.X)
+	case *ast.TypeAssertExpr:
+		return st.tainted(x.X)
+	}
+	return false
+}
+
+// callResultTainted reports whether result index of call is tainted: the
+// call is a configured root, a derivation over a tainted argument, a
+// package function summarized as budget-returning, or an imported function
+// carrying the fact.
+func (st *taintState) callResultTainted(call *ast.CallExpr, index int) bool {
+	if st.cfg.rootCall != nil {
+		for _, i := range st.cfg.rootCall(call) {
+			if i == index {
+				return true
+			}
+		}
+	}
+	if st.cfg.passthrough != nil {
+		for argIdx, arg := range call.Args {
+			if !st.tainted(arg) {
+				continue
+			}
+			for _, i := range st.cfg.passthrough(call, argIdx) {
+				if i == index {
+					return true
+				}
+			}
+		}
+	}
+	if fn := calleeFunc(st.du.info, call); fn != nil {
+		if res, ok := st.funcResults[fn]; ok && res[index] {
+			return true
+		}
+		if st.factName != "" && st.facts != nil {
+			if payload, ok := st.facts.Get(fn, st.factName); ok {
+				for _, tok := range strings.Split(payload, ",") {
+					if tok == fmt.Sprint(index) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// summarizeReturns records, for every function declaration, which result
+// indices return tainted values, and reports whether a summary changed
+// (the fixpoint driver re-runs the assignment pass when it did, since call
+// results feed assignments).
+func (st *taintState) summarizeReturns(files []*ast.File, info *types.Info) bool {
+	changed := false
+	for _, f := range files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[decl.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a literal's returns are its own
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for i, res := range ret.Results {
+					if st.tainted(res) && !st.funcResults[fn][i] {
+						if st.funcResults[fn] == nil {
+							st.funcResults[fn] = make(map[int]bool)
+						}
+						st.funcResults[fn][i] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return changed
+}
+
+// exportSummaries publishes the taint summaries of exported package
+// functions as facts, so downstream packages treat their calls as sources.
+func (st *taintState) exportSummaries() {
+	if st.facts == nil || st.factName == "" {
+		return
+	}
+	for fn, res := range st.funcResults {
+		if !fn.Exported() {
+			continue
+		}
+		indices := make([]string, 0, len(res))
+		for i := range res {
+			indices = append(indices, fmt.Sprint(i))
+		}
+		sort.Strings(indices)
+		st.facts.Export(fn, st.factName, strings.Join(indices, ","))
+	}
+}
+
+// ---- shared resolution helpers ----
+
+// calleeFunc resolves a call to the *types.Func it statically invokes
+// (package function or method), or nil for builtins, conversions, and
+// func-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeIs reports whether call statically invokes a function named name
+// in a package whose path or name matches pkg (path suffix match, so
+// "serve" matches both the real anytime/internal/serve and a fixture
+// package named serve).
+func calleeIs(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return pkgMatches(fn.Pkg(), pkg)
+}
+
+// pkgMatches reports whether p is the package named by short: exact path,
+// path suffix ("/short"), or package name (fixtures).
+func pkgMatches(p *types.Package, short string) bool {
+	if p == nil {
+		return false
+	}
+	return p.Path() == short || strings.HasSuffix(p.Path(), "/"+short) || p.Name() == short
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The serving-tier
+// analyzers skip test files: tests legitimately build root contexts, spawn
+// unsupervised goroutines, and fabricate budgets.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcDeclFor finds the declaration of fn among files (same package), or
+// nil.
+func funcDeclFor(files []*ast.File, info *types.Info, fn *types.Func) *ast.FuncDecl {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && info.Defs[decl.Name] == fn {
+				return decl
+			}
+		}
+	}
+	return nil
+}

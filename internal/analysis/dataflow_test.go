@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// checkSourceFacts is checkSource with an explicit fact store and package
+// path, for exercising the interprocedural facts layer directly.
+func checkSourceFacts(t *testing.T, pkgPath, src string, analyzers []*Analyzer, facts *FactStore) (*Package, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v", err)
+	}
+	pkg, err := CheckFiles(fset, pkgPath, "", []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatalf("type-checking snippet: %v", err)
+	}
+	diags, err := RunPackageFacts(fset, pkg, analyzers, facts)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return pkg, diags
+}
+
+// TestBudgetFactExported: analyzing a package whose exported function
+// returns a ParseBudget result must publish a budgetflow.returns fact for
+// it, and the fact must survive the vetx Encode/Merge round trip.
+func TestBudgetFactExported(t *testing.T) {
+	t.Parallel()
+	facts := NewFactStore()
+	pkg, diags := checkSourceFacts(t, "serve", `package serve
+
+func ParseBudget(h string) (int64, bool, error) { return 0, false, nil }
+
+// Wrap re-exports a raw budget: downstream packages must see its result
+// as tainted.
+func Wrap(h string) int64 {
+	b, _, _ := ParseBudget(h)
+	return b
+}
+`, []*Analyzer{BudgetFlowAnalyzer}, facts)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	wrap := pkg.Types.Scope().Lookup("Wrap")
+	if wrap == nil {
+		t.Fatal("Wrap not in package scope")
+	}
+	payload, ok := facts.Get(wrap, "budgetflow.returns")
+	if !ok || payload != "0" {
+		t.Fatalf("budgetflow.returns fact for Wrap = %q, %v; want \"0\", true", payload, ok)
+	}
+
+	// The unitchecker serializes the store into a .vetx file and downstream
+	// processes merge it back; the fact must survive the round trip.
+	merged := NewFactStore()
+	merged.Merge(facts.Encode())
+	if payload, ok := merged.Get(wrap, "budgetflow.returns"); !ok || payload != "0" {
+		t.Fatalf("fact lost in Encode/Merge round trip: %q, %v", payload, ok)
+	}
+}
+
+// TestBudgetFactConsumed: a call to a body-less function carrying a
+// budgetflow.returns fact (the shape of an imported function in
+// unitchecker mode) must taint its result, so widening it convicts.
+func TestBudgetFactConsumed(t *testing.T) {
+	t.Parallel()
+	src := `package serve
+
+// External stands in for a function imported from another package: no
+// body here, only the fact seeded below.
+func External() int64
+
+func widen() int64 {
+	b := External()
+	return b + 1
+}
+`
+	// First pass, no fact: the analyzer has no reason to convict.
+	if _, diags := checkSourceFacts(t, "serve", src, []*Analyzer{BudgetFlowAnalyzer}, NewFactStore()); len(diags) != 0 {
+		t.Fatalf("without the fact, got diagnostics: %v", diags)
+	}
+
+	// Second pass: seed the fact the upstream package would have exported.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckFiles(fset, "serve", "", []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFactStore()
+	facts.Export(pkg.Types.Scope().Lookup("External"), "budgetflow.returns", "0")
+	diags, err := RunPackageFacts(fset, pkg, []*Analyzer{BudgetFlowAnalyzer}, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "budget widened") {
+		t.Fatalf("with the fact, got %v; want one budget-widened diagnostic", diags)
+	}
+}
+
+// TestSuppressionCollection: CollectSuppressions inventories every ignore
+// directive, bare ones flagged.
+func TestSuppressionCollection(t *testing.T) {
+	t.Parallel()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", `package p
+
+func a() {
+	//lint:ignore budgetflow deliberate race-timer slack
+	_ = 1 + 1
+	//lint:ignore goroleak
+	_ = 2 + 2
+}
+`, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := CollectSuppressions(fset, []*ast.File{f})
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %v", len(sups), sups)
+	}
+	if sups[0].Analyzer != "budgetflow" || sups[0].Bare() {
+		t.Errorf("first suppression misread: %+v", sups[0])
+	}
+	if sups[1].Analyzer != "goroleak" || !sups[1].Bare() {
+		t.Errorf("bare suppression not flagged: %+v", sups[1])
+	}
+}

@@ -1,0 +1,488 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroScopes names the packages whose goroutines run on (or under) the
+// request path: the serving tier plus core, whose stage goroutines and
+// round-pool workers every request borrows. A goroutine spawned here
+// without a provable termination edge accumulates once per request — the
+// million-user fleet leaks it a million times.
+var goroScopes = []string{
+	"anytime/internal/serve",
+	"anytime/internal/cluster",
+	"anytime/internal/daemon",
+	"anytime/internal/reqtrace",
+	"anytime/internal/core",
+}
+
+// GoroLeakAnalyzer convicts fire-and-forget goroutines in the request-path
+// packages: every `go` statement must carry one of the provable
+// termination edges the runtime actually uses —
+//
+//   - joined: the body calls Done on a sync.WaitGroup that the same
+//     package Waits on (the health sweep, the stage fan-out);
+//   - ctx-bounded: the body receives from a context's Done channel, or
+//     every loop in it makes a call that takes a context and has a return
+//     path (the WaitNewer watcher loops);
+//   - stop-channel: the body selects on a `chan struct{}` stop/done
+//     channel or a timer channel (the health-check loop, StopAfter);
+//   - bounded handshake: a loop-free body whose only blocking sends go to
+//     channels created with non-zero capacity in the spawning function
+//     (the hedge race's results channel);
+//   - park protocol: a worker loop whose blocking receives come from a
+//     buffered channel field and whose loop exits on a field-guarded
+//     return (the PR 7 roundPool quit/wake protocol).
+//
+// Everything else is a leak conviction. Goroutines provably terminating by
+// protocol the analyzer cannot see get a justified //lint:ignore.
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc: "report request-path goroutines without a provable termination " +
+		"edge (ctx.Done select, WaitGroup join, stop channel, bounded " +
+		"handshake, or park protocol)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) (interface{}, error) {
+	if !inScopes(pass.Pkg, goroScopes) {
+		return nil, nil
+	}
+	info := pass.TypesInfo
+
+	// Package-wide context: which WaitGroup objects are ever Waited on,
+	// and which channel-typed struct fields are ever assigned a buffered
+	// make (the park protocol's wake channels).
+	waited := make(map[types.Object]bool)
+	bufferedFields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeMethod(info, n); fn != nil && fn.Name() == "Wait" && isWaitGroupMethod(fn) {
+					if obj := receiverObject(info, n); obj != nil {
+						waited[obj] = true
+					}
+				}
+			case *ast.AssignStmt:
+				recordBufferedFieldMakes(info, n, bufferedFields)
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g, waited, bufferedFields)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isWaitGroupMethod reports whether fn is a method of sync.WaitGroup.
+func isWaitGroupMethod(fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	n, ok := deref(recv.Type()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// recordBufferedFieldMakes notes struct-field channels assigned a
+// `make(chan T, n)` with n > 0 — the wake channels a parked worker may
+// safely block on, because the protocol guarantees a token.
+func recordBufferedFieldMakes(info *types.Info, assign *ast.AssignStmt, out map[types.Object]bool) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			continue
+		}
+		if !isPositiveConst(info, call.Args[1]) {
+			continue
+		}
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				out[s.Obj()] = true
+			}
+		}
+	}
+}
+
+func isPositiveConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() != "0"
+}
+
+// spawnSite is the context a go statement's body is judged in.
+type spawnSite struct {
+	pass *Pass
+	g    *ast.GoStmt
+	// body is the spawned code: the literal's body, or the resolved
+	// declaration's body for `go obj.method(...)`.
+	body *ast.BlockStmt
+	// encl is the function declaration containing the go statement.
+	encl *ast.FuncDecl
+	// waited / bufferedFields: package-wide context.
+	waited         map[types.Object]bool
+	bufferedFields map[types.Object]bool
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, waited, bufferedFields map[types.Object]bool) {
+	info := pass.TypesInfo
+	site := spawnSite{pass: pass, g: g, waited: waited, bufferedFields: bufferedFields, encl: enclosingDecl(pass, g)}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		site.body = fun.Body
+	default:
+		fn := calleeFunc(info, g.Call)
+		if fn == nil {
+			pass.Reportf(g.Pos(), "goroutine spawns a dynamic function value: no termination edge is provable; name the function or select on ctx.Done inside it")
+			return
+		}
+		decl := funcDeclFor(pass.Files, info, fn)
+		if decl == nil || decl.Body == nil {
+			// Spawning an out-of-package function: check the terminates fact
+			// exported when that package was analyzed.
+			if _, ok := passFacts(pass).Get(fn, "goroleak.terminates"); ok {
+				return
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine runs %s, declared outside this package with no exported termination fact: wrap it in a supervised loop or justify with //lint:ignore", fn.Name())
+			return
+		}
+		site.body = decl.Body
+	}
+	if reason := site.terminates(); reason == "" {
+		pass.Reportf(g.Pos(),
+			"fire-and-forget goroutine: no provable termination edge (want a ctx.Done select, a WaitGroup joined in this package, a stop-channel select, a bounded channel handshake, or the round-pool park protocol)")
+	}
+}
+
+// terminates returns the name of the first termination edge proved for the
+// spawned body, or "" when none holds.
+func (s *spawnSite) terminates() string {
+	if s.joined() {
+		return "joined"
+	}
+	if s.ctxDone() {
+		return "ctxdone"
+	}
+	if s.stopChannel() {
+		return "stopchan"
+	}
+	if s.parkProtocol() {
+		return "park"
+	}
+	if s.ctxBoundedLoops() {
+		return "ctxcall"
+	}
+	if s.boundedHandshake() {
+		return "bounded"
+	}
+	return ""
+}
+
+// joined: the body calls wg.Done() (usually deferred) on a WaitGroup that
+// this package Waits on. The join point may live in another goroutine of
+// the same function (the automaton's finisher) or another method (the
+// pool), so the Wait set is package-wide.
+func (s *spawnSite) joined() bool {
+	info := s.pass.TypesInfo
+	found := false
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if fn := calleeMethod(info, call); fn != nil && fn.Name() == "Done" && isWaitGroupMethod(fn) {
+			if obj := receiverObject(info, call); obj != nil && s.waited[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ctxDone: the body receives from some context's Done channel (directly or
+// in a select). Whoever owns that context can end this goroutine.
+func (s *spawnSite) ctxDone() bool {
+	info := s.pass.TypesInfo
+	found := false
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return true
+		}
+		if call, ok := ast.Unparen(ue.X).(*ast.CallExpr); ok {
+			if fn := calleeMethod(info, call); fn != nil && fn.Name() == "Done" {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// stopChannel: the body selects on (or receives from) a `chan struct{}`
+// stop/done channel. Closing the channel releases the goroutine; the close
+// lives with the owner's Stop. Timer channels deliberately don't qualify:
+// `for { <-t.C }` wakes forever, it doesn't terminate.
+func (s *spawnSite) stopChannel() bool {
+	info := s.pass.TypesInfo
+	found := false
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return true
+		}
+		tv, ok := info.Types[ue.X]
+		if !ok {
+			return true
+		}
+		ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan)
+		if !ok {
+			return true
+		}
+		if isEmptyStruct(ch.Elem()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parkProtocol: every blocking receive in the body reads a buffered
+// channel stored in a struct field (the wake token), and the body's loop
+// has a field-guarded return (the quit flag) — the roundPool worker shape.
+func (s *spawnSite) parkProtocol() bool {
+	info := s.pass.TypesInfo
+	receives := 0
+	fieldReceives := 0
+	guardedReturn := false
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			receives++
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				if s2, ok := info.Selections[sel]; ok && s2.Kind() == types.FieldVal && s.bufferedFields[s2.Obj()] {
+					fieldReceives++
+				}
+			}
+		case *ast.IfStmt:
+			if !refersToField(info, n.Cond) {
+				return true
+			}
+			for _, st := range n.Body.List {
+				if _, ok := st.(*ast.ReturnStmt); ok {
+					guardedReturn = true
+				}
+			}
+		}
+		return true
+	})
+	return guardedReturn && receives > 0 && receives == fieldReceives
+}
+
+// ctxBoundedLoops: every for loop in the body makes a call that receives a
+// context (so cancelling that context unblocks it) and the body has a
+// return path; loop-free bodies don't qualify here (boundedHandshake
+// covers them).
+func (s *spawnSite) ctxBoundedLoops() bool {
+	info := s.pass.TypesInfo
+	loops := 0
+	bounded := 0
+	hasReturn := false
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			hasReturn = true
+		case *ast.ForStmt:
+			loops++
+			if loopHasCtxCall(info, n.Body) {
+				bounded++
+			}
+		case *ast.RangeStmt:
+			loops++
+			// Ranges over slices/maps/ints are bounded by their operand;
+			// ranging a channel blocks until someone closes it, which is
+			// exactly the edge this classifier cannot see here.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); !isChan {
+					bounded++
+				}
+			}
+		}
+		return true
+	})
+	return loops > 0 && loops == bounded && hasReturn
+}
+
+func loopHasCtxCall(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// boundedHandshake: a loop-free body whose channel sends all target
+// buffered channels created in the spawning function, and whose receives
+// (if any) are stop-channel/timer shaped (checked above). Such a body runs
+// to completion as soon as its calls return — nothing can block it
+// indefinitely on the handshake itself.
+func (s *spawnSite) boundedHandshake() bool {
+	info := s.pass.TypesInfo
+	// Channels made buffered in the enclosing function.
+	buffered := make(map[types.Object]bool)
+	if s.encl != nil {
+		ast.Inspect(s.encl, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+					continue
+				}
+				if !isPositiveConst(info, call.Args[1]) {
+					continue
+				}
+				if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.Defs[lid]; obj != nil {
+						buffered[obj] = true
+					} else if obj := info.Uses[lid]; obj != nil {
+						buffered[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ok := true
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			ok = false
+		case *ast.SendStmt:
+			target := ast.Unparen(n.Chan)
+			id, isIdent := target.(*ast.Ident)
+			if !isIdent || !buffered[info.Uses[id]] {
+				ok = false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ok = false // a plain receive can block forever
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// refersToField reports whether e mentions a struct-field selection.
+func refersToField(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isEmptyStruct(t types.Type) bool {
+	st, ok := types.Unalias(t).Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// enclosingDecl finds the function declaration containing n.
+func enclosingDecl(pass *Pass, n ast.Node) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		if n.Pos() < f.Pos() || n.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= n.Pos() && n.Pos() <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// passFacts returns the pass's fact store, never nil.
+func passFacts(pass *Pass) *FactStore {
+	if pass.Facts == nil {
+		pass.Facts = NewFactStore()
+	}
+	return pass.Facts
+}

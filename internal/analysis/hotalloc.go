@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathDirective marks a function whose body must stay allocation-free:
+// the kernel inner loops and the Buffer publish path, where PR 7's
+// alloc_guard_test pins zero allocs per op at runtime. hotalloc turns that
+// budget into a static gate — the allocation never compiles, instead of
+// failing a benchmark assertion after the fact.
+const hotpathDirective = "//anytime:hotpath"
+
+// HotAllocAnalyzer convicts, inside any function annotated
+// //anytime:hotpath, the constructs that defeat the zero-alloc budget:
+//
+//   - interface boxing: a concrete value assigned, passed, returned, or
+//     converted to an interface type heap-allocates the box (pointer-free
+//     words excepted — but the analyzer convicts the pattern, not the
+//     escape analysis outcome, because the outcome shifts under inlining);
+//   - func literals that capture enclosing variables: the closure and its
+//     captured cells escape;
+//   - append: growth reallocates; hot paths write into preallocated
+//     buffers indexed by position;
+//   - map iteration: the hidden iterator allocates and the order is
+//     nondeterministic besides (detnondet's concern, but the alloc alone
+//     disqualifies it here);
+//   - fmt-family calls: every operand boxes into an any slice.
+//
+// The annotation is the scope: un-annotated functions are never checked,
+// and the directive belongs only on functions whose alloc budget a
+// benchmark actually pins (see docs/OPERATIONS.md).
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "report allocation-prone constructs (interface boxing, capturing " +
+		"closures, append, map iteration, fmt calls) inside functions " +
+		"annotated //anytime:hotpath",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !isHotpath(decl) {
+				continue
+			}
+			checkHotFunc(pass, decl)
+		}
+	}
+	return nil, nil
+}
+
+// isHotpath reports whether decl's doc comment carries the directive.
+func isHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Objects declared inside each func literal, to tell captures from
+	// locals. Collected up front: an identifier in a literal that resolves
+	// to a variable declared in decl but outside the literal is a capture.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capturesEnclosing(info, n, decl) {
+				pass.Reportf(n.Pos(),
+					"func literal captures enclosing variables in a hotpath: the closure and its captured cells escape to the heap")
+			}
+			// Keep descending: the literal's own body obeys the same rules.
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map iteration in a hotpath: the iterator allocates (and ranges nondeterministically); index a slice instead")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					if tv, ok := info.Types[n.Lhs[i]]; ok {
+						reportBoxing(pass, info, n.Rhs[i], tv.Type, "assignment")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, _ := info.Defs[decl.Name].(*types.Func)
+			if sig == nil {
+				break
+			}
+			res := sig.Signature().Results()
+			if len(n.Results) == res.Len() {
+				for i, e := range n.Results {
+					reportBoxing(pass, info, e, res.At(i).Type(), "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall convicts fmt calls, appends, interface-boxing arguments, and
+// conversions to interface types.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(),
+			"fmt.%s in a hotpath: every operand boxes into the variadic any slice; preformat outside the hot loop", fn.Name())
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				pass.Reportf(call.Pos(),
+					"append in a hotpath: growth reallocates; write into a preallocated buffer by index")
+			}
+			return // other builtins (len, cap, copy, min, max) are alloc-free
+		}
+	}
+	// Conversion to an interface type: T(x) with T an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 {
+			reportBoxing(pass, info, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	// Interface-typed parameters receiving concrete arguments.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := types.Unalias(last).Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			reportBoxing(pass, info, arg, pt, "argument")
+		}
+	}
+}
+
+// reportBoxing convicts e when it carries a concrete value into the
+// interface-typed destination dst.
+func reportBoxing(pass *Pass, info *types.Info, e ast.Expr, dst types.Type, where string) {
+	if !isInterface(dst) {
+		return
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() {
+		return // nil interface, no box
+	}
+	src := tv.Type
+	if isInterface(src) {
+		return // interface-to-interface, no new box
+	}
+	if _, isTP := types.Unalias(src).(*types.TypeParam); isTP {
+		return // instantiation decides; the concrete instantiation is checked there
+	}
+	pass.Reportf(e.Pos(),
+		"interface boxing in a hotpath (%s): concrete %s converted to %s heap-allocates the box", where, src, dst)
+}
+
+// isInterface reports whether t's underlying type is an interface,
+// excluding type parameters (whose underlying is an interface constraint).
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := types.Unalias(t).(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Interface)
+	return ok
+}
+
+// capturesEnclosing reports whether lit references a variable declared in
+// decl but outside lit — the capture that forces the closure to allocate.
+func capturesEnclosing(info *types.Info, lit *ast.FuncLit, decl *ast.FuncDecl) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Declared inside the enclosing function but outside the literal.
+		if pos >= decl.Pos() && pos <= decl.End() && (pos < lit.Pos() || pos > lit.End()) {
+			captured = true
+		}
+		return !captured
+	})
+	return captured
+}

@@ -74,8 +74,20 @@ func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
 }
 
 // RunPackage executes the analyzers over pkg, applying ignore directives,
-// and returns the surviving diagnostics in source order.
+// and returns the surviving diagnostics in source order. Facts exported by
+// the analyzers land in a fresh throwaway store; multi-package drivers use
+// RunPackageFacts to thread one store through in dependency order.
 func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunPackageFacts(fset, pkg, analyzers, NewFactStore())
+}
+
+// RunPackageFacts is RunPackage with an explicit fact store: facts exported
+// while analyzing this package accumulate into facts, and facts already
+// present (from upstream packages) are visible to the analyzers.
+func RunPackageFacts(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	idx := buildIgnoreIndex(fset, pkg.Files)
 	diags := append([]Diagnostic(nil), idx.malformed...)
 	for _, a := range analyzers {
@@ -85,6 +97,7 @@ func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Dia
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		pass.Report = func(d Diagnostic) {
 			d.Analyzer = a.Name

@@ -124,3 +124,30 @@ func TestByName(t *testing.T) {
 		t.Error("ByName of an unknown name must be nil")
 	}
 }
+
+func TestCtxFlowFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, CtxFlowAnalyzer, "ctxflow")
+}
+
+// TestCtxFlowOutOfScope runs the same root-context patterns in a package
+// outside the request-path scope: zero diagnostics expected.
+func TestCtxFlowOutOfScope(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, CtxFlowAnalyzer, "ctxscope")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, GoroLeakAnalyzer, "goroleak")
+}
+
+func TestBudgetFlowFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, BudgetFlowAnalyzer, "budgetflow")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	t.Parallel()
+	RunFixture(t, HotAllocAnalyzer, "hotalloc")
+}

@@ -1,0 +1,100 @@
+// This fixture is named serve so its ParseBudget/ApplyBudget/Run stand-ins
+// (mirroring the real serving API) resolve in the budgetflow analyzer's
+// source/sink matching, which works by package name. The bodies copy the
+// real semantics but keep the fixture self-contained.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// ParseBudget mirrors the real serve.ParseBudget: result 0 is a budget.
+func ParseBudget(header string) (time.Duration, bool, error) {
+	if header == "" {
+		return 0, false, nil
+	}
+	d, err := time.ParseDuration(header)
+	return d, err == nil, err
+}
+
+// ApplyBudget mirrors the real launder point: result 0 is the effective
+// deadline (no longer a raw budget), result 1 the budgeted guard.
+func ApplyBudget(deadline, budget time.Duration, ok bool) (time.Duration, bool) {
+	if deadline <= 0 || !ok || budget >= deadline {
+		return deadline, false
+	}
+	return budget, true
+}
+
+// Run mirrors serve.Run's shape: argument 2 is the deadline.
+func Run(ctx context.Context, entry int, deadline time.Duration, hooks *int) error {
+	_, _, _, _ = ctx, entry, deadline, hooks
+	return nil
+}
+
+// Controller mirrors serve.Controller: Scale's argument 1 is the deadline.
+type Controller struct{}
+
+func (Controller) Scale(ctx context.Context, deadline time.Duration, depth int) time.Duration {
+	return deadline
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	deadline := 50 * time.Millisecond
+	budget, ok, err := ParseBudget(r.Header.Get("X-Anytime-Budget"))
+	if err != nil {
+		http.Error(w, "bad budget", http.StatusBadRequest)
+		return
+	}
+
+	padded := budget + time.Millisecond // want `budget widened with "\+"`
+	_ = padded
+	doubled := budget
+	doubled *= 2 // want `budget widened with "\*"=`
+	_ = doubled
+	loose := max(budget, deadline) // want `budget passed through max\(\)`
+	_ = loose
+	shrunk := budget - time.Millisecond // ok: shrinking is the protocol
+	tighter := min(budget, deadline)    // ok: min only tightens
+	_, _ = shrunk, tighter
+
+	_ = Run(r.Context(), 0, budget, nil) // want `raw budget used as a deadline`
+	var c Controller
+	_ = c.Scale(r.Context(), budget, 1) // want `raw budget used as a deadline`
+
+	_, _ = ApplyBudget(0, budget, ok) // want `budget protocol invoked with a non-positive deadline`
+
+	effective, budgeted := ApplyBudget(deadline, budget, ok)
+	_ = Run(r.Context(), 0, effective, nil) // ok: laundered through ApplyBudget
+
+	w.Header().Set("X-Anytime-Budget", budget.String()) // want `X-Anytime-Budget echoed unconditionally`
+	if budgeted {
+		w.Header().Set("X-Anytime-Budget", budget.String()) // ok: guarded echo
+	}
+}
+
+// propagate reparses and forwards the budget downstream: setting the header
+// on an outbound *request* is the protocol itself, never an echo.
+func propagate(ctx context.Context, r *http.Request) {
+	budget, _, _ := ParseBudget(r.Header.Get("X-Anytime-Budget"))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://backend/", nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set("X-Anytime-Budget", budget.String()) // ok: outbound request, not a response echo
+}
+
+// reuses carries budget taint across a function boundary inside the
+// package: wrap's result is summarized as budget-carrying, so the widening
+// downstream of the call still convicts.
+func wrap(r *http.Request) time.Duration {
+	budget, _, _ := ParseBudget(r.Header.Get("X-Anytime-Budget"))
+	return budget
+}
+
+func reuses(r *http.Request) time.Duration {
+	b := wrap(r)
+	return b * 2 // want `budget widened with "\*"`
+}

@@ -1,0 +1,81 @@
+// This fixture is named serve to land in the ctxflow analyzer's
+// request-path scope, which matches fixtures by package name.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func do(ctx context.Context) { _ = ctx }
+
+// mintRoot severs the request's deadline chain both ways a handler can.
+func mintRoot(w http.ResponseWriter, r *http.Request) {
+	do(context.Background()) // want `context.Background\(\) in a request-path package severs`
+	do(context.TODO())       // want `context.TODO\(\) in a request-path package severs`
+	do(r.Context())          // ok: the inbound request's context
+}
+
+// droppedCancel discards the cancel three ways, each a leak.
+func droppedCancel(ctx context.Context) {
+	child, _ := context.WithTimeout(ctx, time.Second) // want `cancel from context.WithTimeout assigned to _`
+	do(child)
+	context.WithCancel(ctx)                                                  // want `result of context.WithCancel discarded`
+	child2, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want `cancel function "cancel" is never called`
+	do(child2)
+	_ = cancel // placates the compiler; still leaks
+}
+
+// properCancel threads and releases correctly: no diagnostics.
+func properCancel(ctx context.Context) {
+	child, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	do(child)
+}
+
+// holder stores a context, the lifetime escape the analyzer forbids.
+type holder struct {
+	ctx context.Context // want `struct field of type context.Context`
+}
+
+func storeCtx(ctx context.Context) {
+	var h holder
+	h.ctx = ctx            // want `context stored into struct field "ctx"`
+	h2 := holder{ctx: ctx} // want `context stored into struct field "ctx" via composite literal`
+	_, _ = h, h2
+}
+
+// foreign passes contexts that do not descend from this function's own.
+func foreign(ctx context.Context) {
+	var saved context.Context
+	do(saved) // want `context not derived from this function's ctx parameter`
+	do(nil)   // want `nil context passed downstream`
+	do(ctx)   // ok: the parameter itself
+}
+
+// outbound builds requests with and without the caller's context.
+func outbound(ctx context.Context) {
+	req, _ := http.NewRequest(http.MethodGet, "http://backend/healthz", nil) // want `http.NewRequest builds an uncancellable request`
+	_ = req
+	req2, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://backend/healthz", nil)
+	_, _ = req2, err
+}
+
+// derived chains derivations: taint flows through every wrapper that
+// accepts the ctx and returns a context.
+func derived(ctx context.Context) {
+	withVal := context.WithValue(ctx, struct{}{}, 1)
+	child, cancel := context.WithTimeout(withVal, time.Second)
+	defer cancel()
+	do(child)
+}
+
+// closureParam: a func literal's own ctx parameter is that closure's
+// inbound context, not a foreign one.
+func closureParam(ctx context.Context) {
+	f := func(ctx context.Context) {
+		do(ctx)
+	}
+	f(ctx)
+}

@@ -1,0 +1,21 @@
+// The same patterns ctxflow convicts, in a package outside the
+// request-path scope: a batch tool legitimately mints its own root
+// context. Zero diagnostics expected.
+package batchtool
+
+import (
+	"context"
+	"net/http"
+)
+
+type job struct {
+	ctx context.Context // fine outside the serving tier
+}
+
+func boot() {
+	ctx := context.Background()
+	req, _ := http.NewRequest(http.MethodGet, "http://example/", nil)
+	_ = req
+	j := job{ctx: ctx}
+	_ = j
+}

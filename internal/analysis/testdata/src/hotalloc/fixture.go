@@ -1,0 +1,68 @@
+// hotalloc's scope is the //anytime:hotpath annotation itself, so this
+// fixture needs no special package name: annotated functions are checked,
+// the identical un-annotated twin below is not.
+package hot
+
+import "fmt"
+
+type sink interface{ accept() }
+
+type impl struct{ n int }
+
+func (impl) accept() {}
+
+func use(s sink) { _ = s }
+
+//anytime:hotpath
+func hotKernel(vals []int, hist map[string]int, out []int) int {
+	fmt.Println(len(vals)) // want `fmt.Println in a hotpath`
+	total := 0
+	for _, v := range hist { // want `map iteration in a hotpath`
+		total += v
+	}
+	for _, v := range vals { // ok: slice range
+		total += v
+	}
+	out = append(out, total) // want `append in a hotpath`
+	if len(out) > 0 {
+		total += out[0]
+	}
+	f := func() int { return total } // want `func literal captures enclosing variables in a hotpath`
+	_ = f
+	g := func(x int) int { return x * 2 } // ok: captures nothing
+	_ = g
+	return total
+}
+
+//anytime:hotpath
+func hotBoxing(n int) {
+	var s sink
+	s = impl{n: n}        // want `interface boxing in a hotpath \(assignment\)`
+	use(impl{n: n})       // want `interface boxing in a hotpath \(argument\)`
+	v := sink(impl{n: n}) // want `interface boxing in a hotpath \(conversion\)`
+	use(s)                // ok: already an interface, no new box
+	_ = v
+}
+
+//anytime:hotpath
+func hotReturn(n int) sink {
+	if n == 0 {
+		return nil // ok: nil interface, no box
+	}
+	return impl{n: n} // want `interface boxing in a hotpath \(return\)`
+}
+
+// coldKernel is the identical body with no annotation: never checked.
+func coldKernel(vals []int, hist map[string]int, out []int) int {
+	fmt.Println(len(vals))
+	total := 0
+	for _, v := range hist {
+		total += v
+	}
+	out = append(out, total)
+	f := func() int { return total }
+	_ = f
+	var s sink = impl{n: total}
+	use(s)
+	return total
+}

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -60,7 +61,7 @@ func newHarness(t *testing.T, n int, cfg cluster.RouterConfig) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.Start()
+	rt.Start(context.Background())
 	t.Cleanup(rt.Close)
 	h.router = rt
 	h.front = httptest.NewServer(rt)

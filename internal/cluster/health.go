@@ -54,20 +54,24 @@ func NewChecker(ms *Membership, client *http.Client, interval, timeout time.Dura
 	}
 }
 
-// Start launches the probe loop. One immediate sweep runs before the first
-// tick so a router doesn't route blind for a full interval after boot.
-func (c *Checker) Start() {
+// Start launches the probe loop under ctx: cancelling ctx (or calling
+// Stop) ends the loop and aborts any in-flight probes. One immediate sweep
+// runs before the first tick so a router doesn't route blind for a full
+// interval after boot.
+func (c *Checker) Start(ctx context.Context) {
 	go func() {
 		defer close(c.done)
-		c.Sweep()
+		c.Sweep(ctx)
 		t := time.NewTicker(c.interval)
 		defer t.Stop()
 		for {
 			select {
+			case <-ctx.Done():
+				return
 			case <-c.stop:
 				return
 			case <-t.C:
-				c.Sweep()
+				c.Sweep(ctx)
 			}
 		}
 	}()
@@ -79,32 +83,34 @@ func (c *Checker) Stop() {
 	<-c.done
 }
 
-// Sweep probes every member once, concurrently, and applies transitions.
-// Exported so tests (and an operator poking a router) can force a
-// membership reassessment without waiting out the interval.
-func (c *Checker) Sweep() {
+// Sweep probes every member once, concurrently, under ctx, and applies
+// transitions. Exported so tests (and an operator poking a router) can
+// force a membership reassessment without waiting out the interval.
+func (c *Checker) Sweep(ctx context.Context) {
 	var wg sync.WaitGroup
 	for _, m := range c.members.Members() {
 		wg.Add(1)
 		go func(m *Member) {
 			defer wg.Done()
-			c.probe(m)
+			c.probe(ctx, m)
 		}(m)
 	}
 	wg.Wait()
 }
 
-// probe checks one member and applies the resulting transition.
-func (c *Checker) probe(m *Member) {
-	req, err := http.NewRequest(http.MethodGet, strings.TrimSuffix(m.URL, "/")+"/healthz", nil)
+// probe checks one member and applies the resulting transition. The probe
+// request derives from ctx — a stopping router abandons in-flight probes
+// instead of letting them dangle on a dead client's timeout.
+func (c *Checker) probe(ctx context.Context, m *Member) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(m.URL, "/")+"/healthz", nil)
 	if err != nil {
 		c.fail(m)
 		return
 	}
-	ctx, cancel := context.WithTimeout(req.Context(), c.timeout)
-	defer cancel()
 	start := time.Now()
-	resp, err := c.client.Do(req.WithContext(ctx))
+	resp, err := c.client.Do(req)
 	if err != nil {
 		c.fail(m)
 		return

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -119,7 +120,7 @@ func TestCheckerTransitions(t *testing.T) {
 
 	healthyName := strings.TrimPrefix(healthy.URL, "http://")
 	deadName := strings.TrimPrefix(dead.URL, "http://")
-	c.Sweep()
+	c.Sweep(context.Background())
 	if ms.Member(healthyName).State() != StateHealthy {
 		t.Fatal("healthy backend not marked healthy")
 	}
@@ -127,7 +128,7 @@ func TestCheckerTransitions(t *testing.T) {
 	if ms.Member(deadName).State() != StateHealthy {
 		t.Fatal("one failed probe already removed the member (maxFails=2)")
 	}
-	c.Sweep() // second consecutive failure crosses the threshold
+	c.Sweep(context.Background()) // second consecutive failure crosses the threshold
 	if ms.Member(deadName).State() != StateDown {
 		t.Fatal("dead backend not marked down after maxFails probes")
 	}
@@ -137,7 +138,7 @@ func TestCheckerTransitions(t *testing.T) {
 
 	// Drain flows through the probe body.
 	draining.Store(true)
-	c.Sweep()
+	c.Sweep(context.Background())
 	if ms.Member(healthyName).State() != StateDraining {
 		t.Fatal("draining healthz did not drain the member")
 	}
@@ -147,7 +148,7 @@ func TestCheckerTransitions(t *testing.T) {
 
 	// And back.
 	draining.Store(false)
-	c.Sweep()
+	c.Sweep(context.Background())
 	if ms.Member(healthyName).State() != StateHealthy {
 		t.Fatal("member did not rejoin after drain ended")
 	}
@@ -168,11 +169,70 @@ func TestCheckerStartStop(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewChecker(ms, nil, 10*time.Millisecond, time.Second, 3)
-	c.Start()
+	c.Start(context.Background())
 	defer c.Stop()
 	if !waitTrue(t, func() bool { return ms.Members()[0].RTT() > 0 }) {
 		t.Fatal("started checker never probed")
 	}
 	c.Stop()
 	c.Stop() // idempotent
+}
+
+// TestCheckerCtxCancelStopsLoop is the regression for the ctxflow fix: the
+// probe loop runs under the caller's context, so cancelling it ends the
+// loop without an explicit Stop — an operator tearing down a router by
+// cancelling its root ctx must not strand the checker goroutine.
+func TestCheckerCtxCancelStopsLoop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	}))
+	defer srv.Close()
+	ms, err := NewMembership([]string{srv.URL}, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(ms, nil, 10*time.Millisecond, time.Second, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.Start(ctx)
+	cancel()
+	select {
+	case <-c.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("probe loop still running after its context was cancelled")
+	}
+}
+
+// TestCheckerProbeInheritsCtx proves the probe HTTP request itself derives
+// from the sweep's context (the http.NewRequestWithContext fix): against a
+// backend that never answers, a cancelled sweep context must abort the
+// in-flight probe well before the checker's own per-probe timeout.
+func TestCheckerProbeInheritsCtx(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done(): // client abandoned the probe
+		case <-release:
+		}
+	}))
+	defer stuck.Close()
+	ms, err := NewMembership([]string{stuck.URL}, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-probe timeout of an hour: only ctx cancellation can end the sweep.
+	c := NewChecker(ms, nil, time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Sweep(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the probe reach the backend
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sweep ignored context cancellation; probe not derived from ctx")
+	}
 }

@@ -138,8 +138,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// Start launches the health checker.
-func (rt *Router) Start() { rt.checker.Start() }
+// Start launches the health checker under ctx: cancelling ctx ends the
+// probe loop (Close still works for callers that prefer explicit shutdown).
+func (rt *Router) Start(ctx context.Context) { rt.checker.Start(ctx) }
 
 // Close stops the health checker. In-flight requests complete.
 func (rt *Router) Close() { rt.checker.Stop() }
@@ -355,6 +356,11 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// router-side timer only needs to cover the leftover (network skew),
 	// so it gets the budget plus slack rather than a second full deadline.
 	if deadline > 0 && budget > 0 {
+		// The race timer is router-side bookkeeping, not the wire budget: the
+		// backends were already handed the unwidened value, and the +25% slack
+		// only keeps the selection phase from abandoning a response that the
+		// backend is still entitled to deliver at its own deadline.
+		//lint:ignore budgetflow race-timer slack, not the propagated budget: backends already received the unwidened value
 		rc.budget = budget + budget/4
 	}
 

@@ -96,12 +96,21 @@ type Buffer[T any] struct {
 	// garbage collected once no reader holds a cell in them.
 	arena     []Snapshot[T]
 	arenaNext int
+
+	// errFinalized is the publish-past-final error, preformatted at
+	// construction: Publish is a hotpath (//anytime:hotpath) and may not
+	// call fmt, whose operands box.
+	errFinalized error
 }
 
 // NewBuffer returns an empty buffer. name labels the buffer in errors and
 // diagnostics. clone, if non-nil, deep-copies values at publish time.
 func NewBuffer[T any](name string, clone func(T) T) *Buffer[T] {
-	return &Buffer[T]{name: name, clone: clone}
+	return &Buffer[T]{
+		name:         name,
+		clone:        clone,
+		errFinalized: fmt.Errorf("%w (buffer %q)", ErrFinalized, name),
+	}
 }
 
 // Name reports the buffer's label.
@@ -130,6 +139,8 @@ func (b *Buffer[T]) OnPublish(fn func(Snapshot[T])) {
 
 // nextCell hands out the next arena cell, growing the chunk geometrically
 // up to snapArenaCap. Publisher-private; see Buffer.arena.
+//
+//anytime:hotpath
 func (b *Buffer[T]) nextCell() *Snapshot[T] {
 	if b.arenaNext == len(b.arena) {
 		size := 2 * len(b.arena)
@@ -154,6 +165,8 @@ func (b *Buffer[T]) nextCell() *Snapshot[T] {
 // Only the owning stage may call Publish (Property 2); calls are therefore
 // sequential, and the fast path is one atomic store plus one atomic swap —
 // no lock, and no allocation beyond the amortized snapshot cell.
+//
+//anytime:hotpath
 func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
 	if b.clone != nil {
 		v = b.clone(v)
@@ -162,7 +175,7 @@ func (b *Buffer[T]) Publish(v T, final bool) (Snapshot[T], error) {
 	version := Version(1)
 	if prev != nil {
 		if prev.Final {
-			return Snapshot[T]{}, fmt.Errorf("%w (buffer %q)", ErrFinalized, b.name)
+			return Snapshot[T]{}, b.errFinalized
 		}
 		version = prev.Version + 1
 	}

@@ -125,11 +125,24 @@ func PlaneValue(v int32, plane, width uint) int32 {
 	return int32(1) << plane
 }
 
+// errLenMismatch and errBadWidth outline the cold error paths of the
+// hotpath dot kernels: fmt stays out of the annotated bodies (hotalloc),
+// and the error construction stops counting against their inlining budget.
+func errLenMismatch(la, lb int) error {
+	return fmt.Errorf("fixpoint: dot length mismatch %d vs %d", la, lb)
+}
+
+func errBadWidth(width uint) error {
+	return fmt.Errorf("fixpoint: width %d out of range [1,32]", width)
+}
+
 // Dot returns the exact integer dot product of a and b with a 64-bit
 // accumulator. The slices must have equal length.
+//
+//anytime:hotpath
 func Dot(a, b []int32) (int64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("fixpoint: dot length mismatch %d vs %d", len(a), len(b))
+		return 0, errLenMismatch(len(a), len(b))
 	}
 	b = b[:len(a):len(a)] // lengths proven equal: b[i] needs no bounds check below
 	var acc int64
@@ -144,12 +157,14 @@ func Dot(a, b []int32) (int64, error) {
 // planes processed so far and the running partial sum. After k planes the
 // partial equals dot(a, KeepTop(b, k, width)); after all width planes it
 // equals the exact dot product. This is the computation of paper Figure 6.
+//
+//anytime:hotpath
 func BitSerialDot(a, b []int32, width uint, emit func(planesDone uint, partial int64)) (int64, error) {
 	if len(a) != len(b) {
-		return 0, fmt.Errorf("fixpoint: dot length mismatch %d vs %d", len(a), len(b))
+		return 0, errLenMismatch(len(a), len(b))
 	}
 	if width < 1 || width > 32 {
-		return 0, fmt.Errorf("fixpoint: width %d out of range [1,32]", width)
+		return 0, errBadWidth(width)
 	}
 	bp := b[:len(a):len(a)] // lengths proven equal: bp[i] needs no bounds check below
 	var acc int64
