@@ -8,7 +8,7 @@
 //	        [-size N] [-workers N] [-seed N]
 //	        [-halt FRACTION] [-in image.pgm] [-out image.pgm]
 //	        [-tiles] [-publish every|demand|adaptive]
-//	        [-telemetry] [-curve curve.json] [-reqtrace]
+//	        [-telemetry] [-curve curve.json] [-reqtrace] [-cache]
 //
 // The tool measures the precise baseline, starts the automaton, halts it at
 // the requested fraction of the baseline runtime (1.0 or more lets it run
@@ -27,6 +27,9 @@
 // figures. -reqtrace records the run as a request trace — the same span
 // model anytimed keeps in its flight recorder — and prints the span tree
 // (run lifecycle, every publish, delivery) with the publish timeline.
+// -cache runs the snapshot-cache demo (conv2d only): a cold run, a warm
+// start seeded from its cached output, and a delta start for a perturbed
+// next frame, all at the same wall-clock budget — see docs/CACHING.md.
 package main
 
 import (
@@ -80,6 +83,7 @@ type opts struct {
 	curve     string
 	tiles     bool
 	publish   string
+	cache     bool
 }
 
 func parseFlags(args []string) (opts, error) {
@@ -100,6 +104,7 @@ func parseFlags(args []string) (opts, error) {
 	fs.StringVar(&o.diff, "diff", "", "write an error heat image (|precise - output| x8) here (optional)")
 	fs.BoolVar(&o.tiles, "tiles", false, "publish image snapshots through the zero-copy tile ring")
 	fs.StringVar(&o.publish, "publish", "every", "round publish policy: every, demand, adaptive")
+	fs.BoolVar(&o.cache, "cache", false, "run the snapshot-cache demo: cold, warm-started, and delta-started runs at one fixed budget (conv2d only)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -129,6 +134,9 @@ type appRun struct {
 }
 
 func run(o opts) error {
+	if o.cache {
+		return runCacheDemo(o)
+	}
 	if o.accept > 0 && o.tiles {
 		// The accept controller evaluates snapshots on its own goroutine
 		// (core.StopWhen), concurrently with further publishes — a retaining

@@ -325,5 +325,24 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 		snap.Reset()
 		out.Reset()
 	})
+	// Warm-start support: a cached output frame — optionally a pix.SeedFrame
+	// carrying the stale tiles of a delta start — becomes the starting
+	// published state. The run still computes every pixel from the input, so
+	// the forced-precise final is bit-identical to a cold run's.
+	a.OnSeed(func(seed any, v core.Version) error {
+		img, stale, err := pix.AsSeedFrame(seed, in.W, in.H, 1)
+		if err != nil {
+			return fmt.Errorf("conv2d: %w", err)
+		}
+		img.CloneInto(working)
+		if err := snap.Seed(stale); err != nil {
+			return err
+		}
+		first, err := snap.Snapshot()
+		if err != nil {
+			return err
+		}
+		return out.Seed(first, v)
+	})
 	return &Run{Automaton: a, Out: out}, nil
 }

@@ -268,5 +268,23 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 		snap.Reset()
 		out.Reset()
 	})
+	// Warm-start support: a cached RGB output frame (or a pix.SeedFrame with
+	// delta-start stale tiles) becomes the starting published state; the run
+	// still interpolates every pixel, so the precise final is unchanged.
+	a.OnSeed(func(seed any, v core.Version) error {
+		img, stale, err := pix.AsSeedFrame(seed, in.W, in.H, 3)
+		if err != nil {
+			return fmt.Errorf("debayer: %w", err)
+		}
+		img.CloneInto(working)
+		if err := snap.Seed(stale); err != nil {
+			return err
+		}
+		first, err := snap.Snapshot()
+		if err != nil {
+			return err
+		}
+		return out.Seed(first, v)
+	})
 	return &Run{Automaton: a, Out: out}, nil
 }

@@ -375,5 +375,25 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 		lutBuf.Reset()
 		out.Reset()
 	})
+	// Warm-start support: seed only the output buffer — the histogram, CDF,
+	// and LUT stages recompute from scratch (they are cheap and
+	// input-global, so a delta start buys nothing there), and the apply
+	// stage overwrites every pixel per consumed LUT version, so the precise
+	// final is unchanged.
+	a.OnSeed(func(seed any, v core.Version) error {
+		img, stale, err := pix.AsSeedFrame(seed, in.W, in.H, 1)
+		if err != nil {
+			return fmt.Errorf("histeq: %w", err)
+		}
+		img.CloneInto(working)
+		if err := snap.Seed(stale); err != nil {
+			return err
+		}
+		first, err := snap.Snapshot()
+		if err != nil {
+			return err
+		}
+		return out.Seed(first, v)
+	})
 	return &Run{Automaton: a, HistBuf: histBuf, CDFBuf: cdfBuf, LUTBuf: lutBuf, Out: out}, nil
 }

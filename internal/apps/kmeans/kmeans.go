@@ -410,5 +410,24 @@ func New(in *pix.Image, cfg Config) (*Run, error) {
 		modelBuf.Reset()
 		out.Reset()
 	})
+	// Warm-start support: seed only the output buffer — the
+	// partials/model handshake must start from version 1 (the cluster stage
+	// waits on exact model versions per iteration), and every pixel is
+	// recolored each pass, so a seeded run's precise final is unchanged.
+	a.OnSeed(func(seed any, v core.Version) error {
+		img, stale, err := pix.AsSeedFrame(seed, in.W, in.H, 3)
+		if err != nil {
+			return fmt.Errorf("kmeans: %w", err)
+		}
+		img.CloneInto(working)
+		if err := snap.Seed(stale); err != nil {
+			return err
+		}
+		first, err := snap.Snapshot()
+		if err != nil {
+			return err
+		}
+		return out.Seed(first, v)
+	})
 	return &Run{Automaton: a, ModelBuf: modelBuf, Out: out}, nil
 }

@@ -123,6 +123,10 @@ type Probe struct {
 	Name string
 
 	publishes atomic.Int64
+	// seed is the version the buffer was seeded at for the current run (0 =
+	// cold): the first observed publish must be seed+1. Set via SeedVersion
+	// before Start, after any SeedFrom; cleared by the env reset.
+	seed atomic.Uint64
 
 	// Set by AttachProbe.
 	verifyQuiescent func()
@@ -131,6 +135,12 @@ type Probe struct {
 
 // Publishes reports how many publishes the probe observed.
 func (p *Probe) Publishes() int64 { return p.publishes.Load() }
+
+// SeedVersion tells the probe the buffer was warm-started at version v
+// (core.Buffer.Seed): the run's first publish must then be v+1, keeping
+// the version-monotone invariant anchored to the seed instead of to 1.
+// Call during quiescence, before the automaton starts.
+func (p *Probe) SeedVersion(v core.Version) { p.seed.Store(uint64(v)) }
 
 // VerifyQuiescent re-validates the terminal snapshot: its checksum must
 // still match the value recorded at publish time, and the buffer's latest
@@ -193,8 +203,8 @@ func AttachProbe[T any](env *Env, buf *core.Buffer[T], sum func(T) uint64, valid
 			}
 		} else {
 			st.writerID = gid
-			if s.Version != 1 {
-				col.Add("version-monotone", p.Name, "first observed version is %d, want 1", s.Version)
+			if want := core.Version(p.seed.Load()) + 1; s.Version != want {
+				col.Add("version-monotone", p.Name, "first observed version is %d, want %d", s.Version, want)
 			}
 		}
 		if validate != nil {
@@ -247,6 +257,7 @@ func AttachProbe[T any](env *Env, buf *core.Buffer[T], sum func(T) uint64, valid
 		st.writerID = 0
 		st.mu.Unlock()
 		p.publishes.Store(0)
+		p.seed.Store(0)
 	})
 	return p
 }

@@ -40,6 +40,7 @@ type Automaton struct {
 	err     error
 	hooks   *Hooks
 	onReset []func()
+	onSeed  []func(seed any, version Version) error
 
 	wg sync.WaitGroup
 }

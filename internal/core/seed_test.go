@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestBufferSeedThenPublishContinues(t *testing.T) {
+	t.Parallel()
+	b := NewBuffer[int]("seeded", nil)
+	if err := b.Seed(41, 7); err != nil {
+		t.Fatalf("Seed: %v", err)
+	}
+	s, ok := b.Peek()
+	if !ok || s.Version != 7 || s.Value != 41 || s.Final {
+		t.Fatalf("seeded snapshot = %+v, ok=%v; want version 7 value 41 non-final", s, ok)
+	}
+	pub, err := b.Publish(42, false)
+	if err != nil {
+		t.Fatalf("Publish after seed: %v", err)
+	}
+	if pub.Version != 8 {
+		t.Fatalf("publish after seed at 7 got version %d, want 8", pub.Version)
+	}
+}
+
+func TestBufferSeedErrors(t *testing.T) {
+	t.Parallel()
+	b := NewBuffer[int]("seeded", nil)
+	if err := b.Seed(1, 0); err == nil {
+		t.Fatal("Seed with version 0 succeeded")
+	}
+	if _, err := b.Publish(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seed(2, 5); err == nil {
+		t.Fatal("Seed after publish succeeded")
+	}
+	b.Reset()
+	if err := b.Seed(2, 5); err != nil {
+		t.Fatalf("Seed after Reset: %v", err)
+	}
+}
+
+func TestBufferSeedDoesNotFireObservers(t *testing.T) {
+	t.Parallel()
+	b := NewBuffer[int]("seeded", nil)
+	fired := 0
+	b.OnPublish(func(Snapshot[int]) { fired++ })
+	if err := b.Seed(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("seed fired %d observers; a seed is not a publish", fired)
+	}
+	if _, err := b.Publish(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("publish after seed fired %d observers, want 1", fired)
+	}
+}
+
+func TestBufferSeedClones(t *testing.T) {
+	t.Parallel()
+	clone := func(v []int) []int { return append([]int(nil), v...) }
+	b := NewBuffer[[]int]("seeded", clone)
+	src := []int{1, 2, 3}
+	if err := b.Seed(src, 2); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	s, _ := b.Peek()
+	if s.Value[0] != 1 {
+		t.Fatalf("seed aliased the caller's value: got %v", s.Value)
+	}
+}
+
+func TestBufferSeedWakesWaiter(t *testing.T) {
+	t.Parallel()
+	b := NewBuffer[int]("seeded", nil)
+	got := make(chan Snapshot[int], 1)
+	armed := make(chan struct{})
+	go func() {
+		close(armed)
+		s, err := b.WaitNewer(context.Background(), 0)
+		if err == nil {
+			got <- s
+		}
+	}()
+	<-armed
+	if err := b.Seed(9, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := <-got
+	if s.Version != 4 || s.Value != 9 {
+		t.Fatalf("waiter saw %+v, want the version-4 seed", s)
+	}
+}
+
+func TestAutomatonSeedFrom(t *testing.T) {
+	t.Parallel()
+	out := NewBuffer[int]("out", nil)
+	a := New()
+	if err := a.AddStage("count", func(c *Context) error {
+		for i := 0; i < 2; i++ {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+			if _, err := out.Publish(i, i == 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No hook registered: callers must get the sentinel to fall back on.
+	if err := a.SeedFrom(7, 3); !errors.Is(err, ErrNoSeedSupport) {
+		t.Fatalf("SeedFrom without hooks = %v, want ErrNoSeedSupport", err)
+	}
+
+	var order []string
+	a.OnSeed(func(seed any, v Version) error {
+		order = append(order, "first")
+		if seed.(int) != 7 || v != 3 {
+			t.Errorf("hook saw (%v, %d), want (7, 3)", seed, v)
+		}
+		return out.Seed(seed.(int), v)
+	})
+	a.OnSeed(func(seed any, v Version) error {
+		order = append(order, "second")
+		return nil
+	})
+	a.OnSeed(nil) // ignored
+
+	if err := a.SeedFrom(7, 3); err != nil {
+		t.Fatalf("SeedFrom: %v", err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("hook order = %v", order)
+	}
+	s, ok := out.Peek()
+	if !ok || s.Version != 3 {
+		t.Fatalf("buffer after seed = %+v, ok=%v", s, ok)
+	}
+
+	// Publishes continue past the seed version.
+	if err := a.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := out.Peek()
+	if final.Version != 5 || !final.Final {
+		t.Fatalf("final after seeded run = %+v, want version 5 final", final)
+	}
+
+	// A started (or finished) automaton must refuse to seed.
+	if err := a.SeedFrom(7, 3); err == nil {
+		t.Fatal("SeedFrom on a finished automaton succeeded")
+	}
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SeedFrom(7, 0); err == nil {
+		t.Fatal("SeedFrom with version 0 succeeded")
+	}
+}
+
+func TestAutomatonSeedFromHookFailure(t *testing.T) {
+	t.Parallel()
+	a := New()
+	boom := errors.New("bad seed")
+	ran := 0
+	a.OnSeed(func(any, Version) error { ran++; return boom })
+	a.OnSeed(func(any, Version) error { ran++; return nil })
+	if err := a.SeedFrom(1, 1); !errors.Is(err, boom) {
+		t.Fatalf("SeedFrom = %v, want the hook failure", err)
+	}
+	if ran != 1 {
+		t.Fatalf("%d hooks ran after a failure, want 1 (stop at first error)", ran)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"anytime/internal/pix"
 	"anytime/internal/reqtrace"
 	"anytime/internal/serve"
+	"anytime/internal/snapcache"
 	"anytime/internal/telemetry"
 )
 
@@ -70,6 +71,17 @@ type Server struct {
 	// POST/DELETE /drain.
 	draining atomic.Bool
 
+	// cache is the content-addressed snapshot cache (nil when disabled):
+	// deadline requests whose input digest hits it seed their automaton
+	// from the cached approximation and spend the whole budget refining.
+	// cacheEpoch fingerprints the app configuration so entries from a
+	// differently configured process can never seed a request. See
+	// docs/CACHING.md.
+	cache      *snapcache.Cache[*pix.Image]
+	cacheEpoch uint64
+	grayDigest string
+	rgbDigest  string
+
 	grayIn  *pix.Image
 	rgbIn   *pix.Image
 	blurRef *pix.Image
@@ -93,6 +105,11 @@ type Config struct {
 	ShedMin     float64 // floor of the shed factor (0 = 0.25)
 	FlightSize  int     // completed traces retained for /debug/requests (0 = 256)
 	TraceSample int     // retain 1 in N unremarkable OK traces (0 = 16)
+
+	// CacheBytes bounds the snapshot cache payload (0 = 64 MiB, -1 =
+	// caching disabled); CacheTTL bounds entry age (0 = 5m).
+	CacheBytes int64
+	CacheTTL   time.Duration
 }
 
 func (c *Config) normalize() error {
@@ -122,6 +139,12 @@ func (c *Config) normalize() error {
 	}
 	if c.TraceSample == 0 {
 		c.TraceSample = 16
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 5 * time.Minute
 	}
 	return nil
 }
@@ -178,6 +201,22 @@ func New(size, workers int, cfg Config) (*Server, error) {
 	if err := s.ctrl.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache, err = snapcache.New(snapcache.Config[*pix.Image]{
+			MaxBytes: cfg.CacheBytes,
+			TTL:      cfg.CacheTTL,
+			// Pools publish SnapshotClone images (immutable forever), so the
+			// cache can retain them without a defensive copy.
+			SizeOf: func(im *pix.Image) int { return len(im.Pix) * 4 },
+			Hooks:  telemetry.SnapcacheHooks(reg),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.cacheEpoch = cacheEpoch(size, workers)
+	s.grayDigest = snapcache.DigestImage(gray)
+	s.rgbDigest = snapcache.DigestImage(rgb)
 	if s.blurRef, err = conv2d.Precise(gray, conv2d.Config{Workers: workers}); err != nil {
 		return nil, err
 	}
@@ -214,9 +253,9 @@ func New(size, workers int, cfg Config) (*Server, error) {
 	}); err != nil {
 		return nil, err
 	}
-	s.handle("GET /blur", s.handleApp(s.blurPool, s.blurRef))
-	s.handle("GET /equalize", s.handleApp(s.eqPool, s.eqRef))
-	s.handle("GET /cluster", s.handleApp(s.kmPool, s.kmRef))
+	s.handle("GET /blur", s.handleApp(s.blurPool, s.blurRef, s.grayIn, s.grayDigest))
+	s.handle("GET /equalize", s.handleApp(s.eqPool, s.eqRef, s.grayIn, s.grayDigest))
+	s.handle("GET /cluster", s.handleApp(s.kmPool, s.kmRef, s.rgbIn, s.rgbDigest))
 	s.registerStreams()
 	s.registerOps(cfg.Pprof)
 	s.registerDebugRequests()
@@ -231,6 +270,7 @@ func New(size, workers int, cfg Config) (*Server, error) {
 		fmt.Fprintln(w, "  GET /blur?accept=25      blur, stopped at 25 dB")
 		fmt.Fprintln(w, "  GET /equalize?hold=10ms  histogram equalization")
 		fmt.Fprintln(w, "  GET /cluster?hold=100ms  k-means clustering")
+		fmt.Fprintln(w, "  GET /blur?deadline=50ms&input=key   cache key override (ring-affine repeats warm-start)")
 		fmt.Fprintln(w, "  GET /blur/stream         live SSE: watch quality rise per version")
 		fmt.Fprintln(w, "  GET /cluster/stream      live SSE for k-means")
 		fmt.Fprintln(w, "  GET /metrics             Prometheus exposition (stages, buffers, pools, HTTP)")
@@ -285,7 +325,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // request gets a reqtrace.Trace (its ID is echoed in X-Anytime-Trace);
 // completed traces go to the flight recorder, which always keeps the
 // interesting ones — see /debug/requests.
-func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.HandlerFunc {
+func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref, input *pix.Image, inputDigest string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := reqtrace.New(r.Context(), pool.Name())
 		r = r.WithContext(ctx)
@@ -340,6 +380,18 @@ func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 		interrupted := false
 		budgeted := false
 		effective := k.deadline
+		// The cache key: the route input's content digest — overridable
+		// with ?input=, the same string the router's ring keys on
+		// (cluster.RingKey), so repeats of a key land on the shard whose
+		// cache holds the warm entry — plus the config epoch, so entries
+		// computed under another configuration can never seed.
+		cacheKey := snapcache.Key{App: pool.Name(), Digest: inputDigest, Epoch: s.cacheEpoch}
+		if in := r.URL.Query().Get("input"); in != "" {
+			cacheKey.Digest = in
+		}
+		cacheState := ""
+		var seedVersion core.Version
+		admitOut := false
 		switch {
 		case k.accept > 0:
 			res, err := serve.RunUntil(ctx, entry, func(sn core.Snapshot[*pix.Image]) bool {
@@ -352,6 +404,28 @@ func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			}
 			snap, interrupted = res.Snapshot, res.Interrupted
 		case k.deadline > 0:
+			// Warm start: a cache hit for this content key installs the
+			// cached approximation as the starting published state, so the
+			// deadline budget below is spent purely on refinement. Only the
+			// deadline contract seeds — the accept/hold knobs reason about
+			// absolute version numbers and SNR trajectories from a cold
+			// start, and the no-knob path runs to precise regardless.
+			if s.cache != nil {
+				cacheState = "miss"
+				if ce, hit := serve.SeedFromCache(ctx, entry, s.cache, cacheKey); hit {
+					cacheState = "hit"
+					seedVersion = ce.Version
+					s.reg.Counter(telemetry.MetricSnapcacheSeeds, telemetry.Labels{"mode": "warm"}).Inc()
+				} else if prior := r.URL.Query().Get("prior"); prior != "" {
+					// Delta start: the client names a sibling key (the
+					// previous frame of a stream) whose entry we can reuse
+					// after masking the tiles where the inputs differ.
+					if mode, v := s.seedDelta(ctx, entry, pool.Name(), prior, input); mode != "" {
+						cacheState = mode
+						seedVersion = v
+					}
+				}
+			}
 			// A router-propagated budget caps the deadline before local
 			// shedding: the fleet already spent part of this request's time
 			// upstream (queue wait, network), and the backend must not run
@@ -365,6 +439,7 @@ func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			if s.shed {
 				effective = s.ctrl.Scale(ctx, base, s.queue.Depth())
 			}
+			admitOut = true
 			res, err := serve.Run(ctx, entry, effective, s.serveHooks)
 			if err != nil {
 				httpRunError(w, err)
@@ -395,6 +470,7 @@ func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 			}
 			snap, interrupted = sn, !sn.Final
 		default:
+			admitOut = true
 			res, err := serve.Run(ctx, entry, 0, s.serveHooks)
 			if err != nil {
 				httpRunError(w, err)
@@ -440,11 +516,24 @@ func (s *Server) handleApp(pool *serve.Pool[*pix.Image], ref *pix.Image) http.Ha
 				w.Header().Set(serve.BudgetHeader, serve.FormatBudget(k.budget))
 			}
 		}
+		if cacheState != "" {
+			w.Header().Set("X-Anytime-Cache", cacheState)
+			if seedVersion > 0 {
+				w.Header().Set("X-Anytime-Seed-Version", fmt.Sprint(seedVersion))
+			}
+		}
 		if s.draining.Load() {
 			w.Header().Set("X-Anytime-Draining", "true")
 		}
 		if _, err := w.Write(buf.Bytes()); err != nil {
 			return
+		}
+		// Admission happens after the response bytes are written — off the
+		// request's critical path. The cache's own rules keep it sound: a
+		// version not newer than the stored one (including a re-admission of
+		// the very entry this run was seeded from) is refused.
+		if admitOut {
+			serve.Admit(s.cache, cacheKey, serve.Result[*pix.Image]{Snapshot: snap}, snrDB)
 		}
 	}
 }

@@ -82,6 +82,46 @@ func (d *DirtyTiles) MarkPixel(x, y int) {
 	d.words[t>>6] |= 1 << (t & 63)
 }
 
+// Mark marks tile t by index.
+func (d *DirtyTiles) Mark(t int) {
+	d.words[t>>6] |= 1 << (t & 63)
+}
+
+// Has reports whether tile t is marked.
+func (d *DirtyTiles) Has(t int) bool {
+	return d.words[t>>6]&(1<<(t&63)) != 0
+}
+
+// Dilate marks the 8-neighborhood of every currently marked tile — one ring
+// of growth per call. Delta starts use it to widen a changed-tile set by the
+// stencil halo of the computation that will consume it: a convolution whose
+// kernel reaches up to TileSize pixels past a changed pixel needs one ring.
+func (d *DirtyTiles) Dilate() {
+	if d.all {
+		return
+	}
+	grown := make([]uint64, len(d.words))
+	copy(grown, d.words)
+	d.forEach(func(t int) {
+		tx, ty := t%d.g.tx, t/d.g.tx
+		for dy := -1; dy <= 1; dy++ {
+			ny := ty + dy
+			if ny < 0 || ny >= d.g.ty {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := tx + dx
+				if nx < 0 || nx >= d.g.tx {
+					continue
+				}
+				n := ny*d.g.tx + nx
+				grown[n>>6] |= 1 << (n & 63)
+			}
+		}
+	})
+	d.words = grown
+}
+
 // MarkRect marks every tile intersecting the pixel rectangle
 // [x, x+side) × [y, y+side), clipped to the image.
 func (d *DirtyTiles) MarkRect(x, y, side int) {
@@ -307,6 +347,12 @@ type Snapshotter struct {
 	dirty   []*DirtyTiles // one per worker; nil slices in clone mode
 	cloner  *TileCloner
 	merge   *DirtyTiles // scratch for merging worker sets at snapshot time
+
+	// Warm-start state (see Seed): while seeded, unfilled pixels in trusted
+	// tiles render from the working image — which holds a previous run's
+	// published approximation — instead of hold-filling from tree ancestors.
+	seeded    bool
+	seedStale *DirtyTiles // tiles whose seed values are NOT trusted; nil = trust all
 }
 
 // NewSnapshotter returns a snapshotter over working for the given worker
@@ -380,12 +426,66 @@ func (s *Snapshotter) Mark(w, idx int) {
 	d.MarkRect(x, y, side)
 }
 
+// Seed puts the snapshotter into warm-start mode for the next run. The
+// caller must first have copied a previous run's published approximation
+// into the working image; from then until Reset, pixels not yet computed
+// render at their working value (the cached approximation) instead of
+// hold-filling from tree ancestors, so the first snapshots of a seeded run
+// start at the cached accuracy and rise from there.
+//
+// stale, if non-nil, marks tiles whose cached values must NOT be presented
+// — the delta-start path, where the input changed in those tiles since the
+// cached frame was computed (see TileDiff). Pixels in stale tiles fall back
+// to ordinary hold-fill from freshly computed ancestors. stale must share
+// the working image's tile grid; the snapshotter takes ownership of it.
+//
+// Like Reset, Seed must run during quiescence, on a freshly Reset (no
+// pixels filled) snapshotter, before the automaton starts. Seeding does not
+// change what the run computes — every pixel is still computed exactly once
+// from the input — so the final output is bit-identical to a cold run's.
+func (s *Snapshotter) Seed(stale *DirtyTiles) error {
+	if stale != nil && stale.g != s.grid {
+		return fmt.Errorf("pix: seed stale grid %dx%dx%d does not match working %dx%dx%d",
+			stale.g.W, stale.g.H, stale.g.C, s.grid.W, s.grid.H, s.grid.C)
+	}
+	s.seeded = true
+	s.seedStale = stale
+	if s.mode == SnapshotTiles {
+		// No ring member may present pixels rendered for the previous run's
+		// (unseeded) working content.
+		s.cloner.InvalidateAll()
+	}
+	return nil
+}
+
+// Seeded reports whether the snapshotter is in warm-start mode.
+func (s *Snapshotter) Seeded() bool { return s.seeded }
+
+// trusted reports whether unfilled pixels of tile t may render their seeded
+// working values.
+func (s *Snapshotter) trusted(t int) bool {
+	return s.seeded && (s.seedStale == nil || !s.seedStale.Has(t))
+}
+
 // Snapshot renders the current approximation: every computed pixel shows
 // its working value, every other pixel its nearest computed tree ancestor's
-// (HoldFill semantics). Must run during round quiescence.
+// (HoldFill semantics) — or, in a seeded run, its cached working value when
+// its tile is trusted. Must run during round quiescence.
 func (s *Snapshotter) Snapshot() (*Image, error) {
 	if s.mode == SnapshotClone {
-		return HoldFill(s.working, s.filled)
+		if !s.seeded {
+			return HoldFill(s.working, s.filled)
+		}
+		// Seeded clone: render tile by tile so the trusted/stale split takes
+		// effect, into a fresh image (same immutability as HoldFill).
+		img, err := New(s.grid.W, s.grid.H, s.grid.C)
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < s.grid.Tiles(); t++ {
+			s.renderTile(img, t)
+		}
+		return img, nil
 	}
 	s.merge.Reset()
 	for _, d := range s.dirty {
@@ -408,6 +508,8 @@ func (s *Snapshotter) Reset() {
 	for i := range s.filled {
 		s.filled[i] = false
 	}
+	s.seeded = false
+	s.seedStale = nil
 	if s.mode != SnapshotTiles {
 		return
 	}
@@ -422,6 +524,13 @@ func (s *Snapshotter) Reset() {
 func (s *Snapshotter) renderTile(dst *Image, t int) {
 	g := s.grid
 	w, c := g.W, g.C
+	if s.trusted(t) {
+		// Seeded warm start: unfilled pixels hold the cached approximation
+		// in the working image, filled pixels hold their recomputed values
+		// there too — the whole tile is a plain copy.
+		g.CopyTile(dst, s.working, t)
+		return
+	}
 	x0, y0, x1, y1 := g.tileBounds(t)
 	for y := y0; y < y1; y++ {
 		row := y * w

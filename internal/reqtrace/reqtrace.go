@@ -105,6 +105,16 @@ const (
 	// KindHedgeCancel: the race was decided and the losing in-flight
 	// request was cancelled. Name is the cancelled member, Note its role.
 	KindHedgeCancel
+	// KindCacheHit: the snapshot cache held an entry for the request's
+	// content key. Name is the input digest, Version the cached version,
+	// Note "delta" when the hit came from a delta-start sibling entry.
+	KindCacheHit
+	// KindCacheMiss: no usable cache entry. Name is the input digest.
+	KindCacheMiss
+	// KindCacheSeed: the automaton was seeded from the cached entry. Name
+	// is the output buffer, Version the seed version the run continues
+	// from.
+	KindCacheSeed
 )
 
 var kindNames = [...]string{
@@ -127,6 +137,9 @@ var kindNames = [...]string{
 	KindForwardDone: "forward.done",
 	KindHedgeFire:   "hedge.fire",
 	KindHedgeCancel: "hedge.cancel",
+	KindCacheHit:    "cache.hit",
+	KindCacheMiss:   "cache.miss",
+	KindCacheSeed:   "cache.seed",
 }
 
 // String returns the kind's stable wire name (also used in JSON).
@@ -442,6 +455,29 @@ func (t *Trace) HedgeFire(delay time.Duration) {
 // HedgeCancel records the losing in-flight request being cancelled.
 func (t *Trace) HedgeCancel(member, role string) {
 	t.Add(Event{Kind: KindHedgeCancel, Name: member, Note: role})
+}
+
+// Snapshot-cache helpers: the warm-start spans internal/serve and
+// cmd/anytimed record around internal/snapcache lookups.
+
+// CacheHit records the cache holding an entry for the request's content
+// digest at the given version; delta marks a delta-start hit (the entry
+// belongs to a sibling frame, to be reused through a tile diff).
+func (t *Trace) CacheHit(digest string, version uint64, delta bool) {
+	e := Event{Kind: KindCacheHit, Name: digest, Version: version}
+	if delta {
+		e.Note = "delta"
+	}
+	t.Add(e)
+}
+
+// CacheMiss records the cache holding no usable entry for digest.
+func (t *Trace) CacheMiss(digest string) { t.Add(Event{Kind: KindCacheMiss, Name: digest}) }
+
+// CacheSeed records the automaton being seeded: its output buffer starts
+// at version, and the run's publishes continue from there.
+func (t *Trace) CacheSeed(buffer string, version uint64) {
+	t.Add(Event{Kind: KindCacheSeed, Name: buffer, Version: version})
 }
 
 // Finish seals the trace with the response status, fixing its elapsed time

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"anytime/internal/snapcache"
+)
+
+// Metric names of the snapshot-cache binding. MetricSnapcacheSeeds is
+// incremented by the serving tier (not the cache itself): a hit only
+// becomes a seed once SeedFrom succeeds.
+const (
+	MetricSnapcacheHits      = "anytime_snapcache_hits_total"
+	MetricSnapcacheMisses    = "anytime_snapcache_misses_total"
+	MetricSnapcacheEvictions = "anytime_snapcache_evictions_total"
+	MetricSnapcacheBytes     = "anytime_snapcache_bytes"
+	MetricSnapcacheEntries   = "anytime_snapcache_entries"
+	MetricSnapcacheSeeds     = "anytime_snapcache_seeds_total"
+)
+
+// SnapcacheHooks returns snapcache.Hooks recording cache behavior into reg:
+//
+//   - anytime_snapcache_hits_total{app} / anytime_snapcache_misses_total{app}:
+//     lookups by outcome; the hit fraction is the repeat-traffic rate the
+//     cache is actually capturing.
+//   - anytime_snapcache_evictions_total{reason}: entries dropped, by
+//     reason (lru = capacity, ttl = expired at lookup, replaced =
+//     overwritten by a newer version).
+//   - anytime_snapcache_bytes / anytime_snapcache_entries: current cache
+//     payload size and entry count.
+//
+// The companion anytime_snapcache_seeds_total{mode} (mode = warm | delta)
+// is owned by the serving tier, which increments it when a hit actually
+// seeds an automaton. All instruments are safe for concurrent use.
+func SnapcacheHooks(reg *Registry) *snapcache.Hooks {
+	bytes := reg.Gauge(MetricSnapcacheBytes, nil)
+	entries := reg.Gauge(MetricSnapcacheEntries, nil)
+	return &snapcache.Hooks{
+		Hit: func(app string) {
+			reg.Counter(MetricSnapcacheHits, Labels{"app": app}).Inc()
+		},
+		Miss: func(app string) {
+			reg.Counter(MetricSnapcacheMisses, Labels{"app": app}).Inc()
+		},
+		Evict: func(reason string) {
+			reg.Counter(MetricSnapcacheEvictions, Labels{"reason": reason}).Inc()
+		},
+		Size: func(b int64, n int) {
+			bytes.Set(b)
+			entries.Set(int64(n))
+		},
+	}
+}
